@@ -1,0 +1,473 @@
+// Benchmarks: one testing.B benchmark per table/figure of the paper's
+// evaluation. Each benchmark exercises the operation whose cost the figure
+// reports; the cmd/experiments binary prints the corresponding rows. See
+// EXPERIMENTS.md for the figure-by-figure mapping.
+package qagview_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"qagview"
+	"qagview/internal/baselines"
+	"qagview/internal/dtree"
+	"qagview/internal/exp"
+	"qagview/internal/lattice"
+	"qagview/internal/movielens"
+	"qagview/internal/summarize"
+	"qagview/internal/tpcds"
+	"qagview/internal/userstudy"
+)
+
+// benchState holds datasets and summarizers shared by all benchmarks; built
+// once on first use.
+type benchState struct {
+	env *exp.Env
+
+	adventure *qagview.Result // running-example query, N ~ 50
+	mid       *qagview.Result // m=8, N ~ 2087
+	tp        *qagview.Result // TPC-DS m=7
+
+	advSumm *qagview.Summarizer // L = N over adventure
+	midSumm *qagview.Summarizer // L = 500 over mid
+
+	space *lattice.Space // mid result as a lattice space
+}
+
+var (
+	stateOnce sync.Once
+	state     *benchState
+	stateErr  error
+)
+
+func getState(b *testing.B) *benchState {
+	b.Helper()
+	stateOnce.Do(func() {
+		env, err := exp.NewEnv(
+			movielens.DefaultConfig(),
+			tpcds.Config{Rows: 150_000, Seed: 7},
+		)
+		if err != nil {
+			stateErr = err
+			return
+		}
+		s := &benchState{env: env}
+		if s.adventure, err = env.AdventureResultN(50); err != nil {
+			stateErr = err
+			return
+		}
+		if s.mid, err = env.MovieLensResult(8, 2087); err != nil {
+			stateErr = err
+			return
+		}
+		if s.tp, err = env.TPCDSResult(7, 20000); err != nil {
+			stateErr = err
+			return
+		}
+		if s.advSumm, err = qagview.NewSummarizer(s.adventure, s.adventure.N()); err != nil {
+			stateErr = err
+			return
+		}
+		L := 500
+		if s.mid.N() < L {
+			L = s.mid.N()
+		}
+		if s.midSumm, err = qagview.NewSummarizer(s.mid, L); err != nil {
+			stateErr = err
+			return
+		}
+		if s.space, err = lattice.NewSpace(s.mid.GroupBy, s.mid.Rows, s.mid.Vals); err != nil {
+			stateErr = err
+			return
+		}
+		state = s
+	})
+	if stateErr != nil {
+		b.Fatal(stateErr)
+	}
+	return state
+}
+
+// BenchmarkFig2Guidance measures generating the parameter-selection view:
+// a full precompute over k=2..15 and D=1..4 at L=15 (Figure 2; the paper
+// reports 20-40 ms for this on MovieLens).
+func BenchmarkFig2Guidance(b *testing.B) {
+	s := getState(b)
+	L := 15
+	summ, err := qagview.NewSummarizer(s.adventure, L)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store, err := summ.Precompute(2, 15, []int{1, 2, 3, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := store.Solution(10, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5 measures the algorithms of the brute-force comparison at
+// L=5, D=3, k=4 (Figures 5a/5b).
+func BenchmarkFig5(b *testing.B) {
+	s := getState(b)
+	p := qagview.Params{K: 4, L: 5, D: 3}
+	for _, algo := range []qagview.Algorithm{
+		qagview.BruteForce, qagview.BottomUp, qagview.FixedOrder, qagview.Hybrid,
+	} {
+		algo := algo
+		b.Run(string(algo), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.advSumm.Summarize(algo, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("random-fixed-order", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < b.N; i++ {
+			if _, err := s.advSumm.Summarize(qagview.RandomFixedOrder, p, qagview.WithRand(rng)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("kmeans-fixed-order", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < b.N; i++ {
+			if _, err := s.advSumm.Summarize(qagview.KMeansFixedOrder, p, qagview.WithRand(rng)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig6VaryK sweeps k at L=40, D=3 (Figures 6a/6b).
+func BenchmarkFig6VaryK(b *testing.B) {
+	s := getState(b)
+	for _, k := range []int{5, 10, 20, 40} {
+		p := qagview.Params{K: k, L: 40, D: 3}
+		b.Run(label("k", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.midSumm.Summarize(qagview.Hybrid, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig6VaryL sweeps L at k=3, D=3 (Figures 6c/6d).
+func BenchmarkFig6VaryL(b *testing.B) {
+	s := getState(b)
+	for _, L := range []int{3, 9, 27, 81} {
+		p := qagview.Params{K: 3, L: L, D: 3}
+		b.Run(label("L", L), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.midSumm.Summarize(qagview.Hybrid, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig6VaryD sweeps D at k=10, L=40 (Figures 6e/6f).
+func BenchmarkFig6VaryD(b *testing.B) {
+	s := getState(b)
+	for _, d := range []int{1, 3, 6} {
+		p := qagview.Params{K: 10, L: 40, D: d}
+		b.Run(label("D", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.midSumm.Summarize(qagview.BottomUp, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig6VaryM measures initialization (cluster-space construction) as
+// the number of grouping attributes m grows (Figures 6g/6h).
+func BenchmarkFig6VaryM(b *testing.B) {
+	s := getState(b)
+	for _, m := range []int{4, 6, 8, 10} {
+		res, err := s.env.MovieLensResult(m, 200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(label("m", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := qagview.NewSummarizer(res, 20); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7PrecomputeK measures the precompute path (init + sweep) for
+// k up to 20 at L=500, D=2 (Figure 7a).
+func BenchmarkFig7PrecomputeK(b *testing.B) {
+	s := getState(b)
+	for i := 0; i < b.N; i++ {
+		L := 500
+		if s.mid.N() < L {
+			L = s.mid.N()
+		}
+		summ, err := qagview.NewSummarizer(s.mid, L)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := summ.Precompute(1, 20, []int{2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7Retrieve measures the precomputed retrieval path that makes
+// repeated runs cheap (Figures 7b-7f): one interval-tree stab plus coverage
+// reconstruction.
+func BenchmarkFig7Retrieve(b *testing.B) {
+	s := getState(b)
+	store, err := s.midSumm.Precompute(1, 20, []int{2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.Solution(1+i%20, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8InitOpt compares optimized vs naive cluster-space
+// construction at L=200 (Figure 8a).
+func BenchmarkFig8InitOpt(b *testing.B) {
+	s := getState(b)
+	b.Run("optimized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := lattice.BuildIndex(s.space, 200); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := lattice.BuildIndexNaive(s.space, 200); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig8Delta compares Hybrid with and without Delta-Judgment at
+// L=500, k=20, D=2 (Figure 8b).
+func BenchmarkFig8Delta(b *testing.B) {
+	s := getState(b)
+	p := qagview.Params{K: 20, L: s.midSumm.L(), D: 2}
+	b.Run("with-delta", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := s.midSumm.Summarize(qagview.Hybrid, p, qagview.WithDelta(true)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("without-delta", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := s.midSumm.Summarize(qagview.Hybrid, p, qagview.WithDelta(false)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig9TPCDS measures initialization plus one Hybrid run over the
+// TPC-DS workload at L=500, k=20, D=2 (Figures 9a/9b).
+func BenchmarkFig9TPCDS(b *testing.B) {
+	s := getState(b)
+	L := 500
+	if s.tp.N() < L {
+		L = s.tp.N()
+	}
+	for i := 0; i < b.N; i++ {
+		summ, err := qagview.NewSummarizer(s.tp, L)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := summ.Summarize(qagview.Hybrid, qagview.Params{K: 20, L: L, D: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1UserStudy measures one full simulated-subject study pass
+// for the varying-method group (Tables 1/2).
+func BenchmarkTable1UserStudy(b *testing.B) {
+	s := getState(b)
+	space, err := lattice.NewSpace(s.mid.GroupBy, s.mid.Rows, s.mid.Vals)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := lattice.BuildIndex(space, 50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sol, err := summarize.Hybrid(ix, summarize.Params{K: 10, L: 50, D: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rules := userstudy.FromSolution(ix, sol)
+	labels := make([]bool, space.N())
+	for i := range labels {
+		labels[i] = i < 50
+	}
+	tuples := make([][]int32, space.N())
+	for i := range tuples {
+		tuples[i] = space.Tuples[i]
+	}
+	tree, err := dtree.TuneK(tuples, labels, space.Vals, 10, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dtRules := userstudy.FromDecisionTree(space, tree)
+	cfg := userstudy.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := userstudy.Simulate(space, 50, rules, cfg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := userstudy.Simulate(space, 50, dtRules, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig16Placement measures the optimal comparison-view placement
+// (Hungarian matching) for consecutive k=20 solutions (Figures 16a/16b).
+func BenchmarkFig16Placement(b *testing.B) {
+	s := getState(b)
+	oldSol, err := s.midSumm.Summarize(qagview.Hybrid, qagview.Params{K: 20, L: 30, D: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	newSol, err := s.midSumm.Summarize(qagview.Hybrid, qagview.Params{K: 20, L: 40, D: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	diff, err := s.midSumm.Compare(oldSol, newSol)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := diff.OptimalOrder(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA5Baselines measures the related-work baselines on the running
+// example (Appendix A.5).
+func BenchmarkA5Baselines(b *testing.B) {
+	s := getState(b)
+	space, err := lattice.NewSpace(s.adventure.GroupBy, s.adventure.Rows, s.adventure.Vals)
+	if err != nil {
+		b.Fatal(err)
+	}
+	L := 10
+	if space.N() < L {
+		L = space.N()
+	}
+	ix, err := lattice.BuildIndex(space, L)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("smart-drill-down", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := baselines.SmartDrillDown(ix, 4, baselines.ScopeTopL); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("diversified-topk-exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := baselines.DiversifiedTopKExact(space, L, 4, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("disc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := baselines.DisC(space, L, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mmr", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := baselines.MMR(space, L, 4, 0.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func label(name string, v int) string {
+	return name + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkVariantsAblation compares the Bottom-Up design choices the paper
+// evaluates in Section 5.1: the standard solution-average criterion against
+// the max-LCA-average criterion and the level-(D-1) start.
+func BenchmarkVariantsAblation(b *testing.B) {
+	s := getState(b)
+	p := qagview.Params{K: 5, L: 40, D: 3}
+	for _, algo := range []qagview.Algorithm{
+		qagview.BottomUp, qagview.BottomUpMaxLCA, qagview.BottomUpLevelStart,
+	} {
+		algo := algo
+		b.Run(string(algo), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.midSumm.Summarize(algo, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineAggregate measures the SQL substrate: grouping 100k rating
+// rows over the running example's four attributes.
+func BenchmarkEngineAggregate(b *testing.B) {
+	s := getState(b)
+	sql, err := movielens.Query(4, 50, "genre_adventure = 1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.env.ML.Query(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package qagview_test
+
+import (
+	"fmt"
+	"log"
+
+	"qagview"
+)
+
+// Example demonstrates the core workflow: register a table, run an
+// aggregate query, and summarize the high-valued answers.
+func Example() {
+	rel, err := qagview.FromColumns("sales",
+		qagview.StringColumn("region", []string{
+			"west", "west", "west", "west", "east", "east", "south", "south",
+		}),
+		qagview.StringColumn("product", []string{
+			"gadget", "gadget", "widget", "widget", "gadget", "widget", "gadget", "widget",
+		}),
+		qagview.FloatColumn("profit", []float64{9, 8, 7, 7, 8, 2, 3, 1}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := qagview.NewDB()
+	if err := db.Register(rel); err != nil {
+		log.Fatal(err)
+	}
+	res, err := db.Query(`SELECT region, product, avg(profit) AS val
+		FROM sales GROUP BY region, product ORDER BY val DESC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := qagview.NewSummarizer(res, res.N())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sol, err := s.Summarize(qagview.Hybrid, qagview.Params{K: 2, L: 3, D: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range s.Rows(sol) {
+		fmt.Printf("%v avg=%.1f size=%d\n", row.Pattern, row.Avg, row.Size)
+	}
+	// Output:
+	// [east gadget] avg=8.0 size=1
+	// [west *] avg=7.8 size=2
+}
+
+// ExampleSummarizer_Precompute shows interactive parameter exploration:
+// precompute a (k, D) grid once, then retrieve any solution instantly and
+// inspect the guidance series.
+func ExampleSummarizer_Precompute() {
+	rows := [][]string{
+		{"a", "x"}, {"a", "y"}, {"a", "z"}, {"b", "x"}, {"b", "y"}, {"c", "z"},
+	}
+	vals := []float64{6, 5, 4, 3, 2, 1}
+	s, err := qagview.NewSummarizerFromRows([]string{"g1", "g2"}, rows, vals, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store, err := s.Precompute(1, 3, []int{1, 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	v21, err := store.Value(2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sol, err := store.Solution(2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("value(k=2, D=1) = %.2f with %d clusters\n", v21, sol.Size())
+	// Output:
+	// value(k=2, D=1) = 4.50 with 2 clusters
+}

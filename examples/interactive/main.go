@@ -1,0 +1,133 @@
+// Interactive exploration demo (Section 6 and Appendix A.7 of the paper):
+// precompute solutions over a (k, D) grid, render the guidance view that
+// helps pick parameters (Figure 2), retrieve two consecutive solutions, and
+// show the comparison view's optimal cluster placement versus the default.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"qagview"
+	"qagview/internal/movielens"
+)
+
+func main() {
+	rel, err := movielens.Generate(movielens.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := qagview.NewDB()
+	if err := db.Register(rel); err != nil {
+		log.Fatal(err)
+	}
+	sql, err := movielens.Query(4, 30, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := db.Query(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	L := 15
+	if res.N() < L {
+		log.Fatalf("need %d groups, have %d", L, res.N())
+	}
+	s, err := qagview.NewSummarizer(res, L)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	kMin, kMax := 2, 12
+	ds := []int{1, 2, 3}
+	store, err := s.Precompute(kMin, kMax, ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure 2 analogue: one line per D, value vs k, as an ASCII chart.
+	g := store.Guidance()
+	fmt.Printf("guidance view (avg value vs k), L=%d:\n\n", L)
+	lo, hi := bounds(g)
+	for _, d := range ds {
+		fmt.Printf("D=%d |", d)
+		for _, v := range g.Series[d] {
+			fmt.Printf(" %s", bar(v, lo, hi))
+		}
+		fmt.Println()
+	}
+	fmt.Print("      ")
+	for k := kMin; k <= kMax; k++ {
+		fmt.Printf("k=%-4d", k)
+	}
+	fmt.Println()
+	fmt.Println("\n(each cell: value scaled to", fmt.Sprintf("[%.3f, %.3f]", lo, hi), "as a 1-5 bar)")
+
+	// A user inspects k=8, D=2, then narrows to k=5: show both solutions and
+	// how the clusters redistribute.
+	before, err := store.Solution(8, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := store.Solution(5, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsolution at k=8, D=2 (value %.3f):\n%s", before.AvgValue(), s.Format(before, false))
+	fmt.Printf("\nsolution at k=5, D=2 (value %.3f):\n%s", after.AvgValue(), s.Format(after, false))
+
+	diff, err := s.Compare(before, after)
+	if err != nil {
+		log.Fatal(err)
+	}
+	def := diff.DefaultOrder()
+	opt, err := diff.OptimalOrder()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncomparison view (Appendix A.7): band distance and crossings")
+	fmt.Printf("  default placement: distance %d, crossings %d\n",
+		diff.TotalDistance(def), diff.Crossings(def))
+	fmt.Printf("  matched placement: distance %d, crossings %d\n",
+		diff.TotalDistance(opt), diff.Crossings(opt))
+	fmt.Println("\nband overlaps (old cluster row x new cluster column, tuple counts):")
+	for i := range diff.M {
+		fmt.Printf("  old#%d |", i)
+		for _, v := range diff.M[i] {
+			fmt.Printf(" %3d", v)
+		}
+		fmt.Println()
+	}
+}
+
+func bounds(g *qagview.Guidance) (lo, hi float64) {
+	first := true
+	for _, series := range g.Series {
+		for _, v := range series {
+			if first || v < lo {
+				lo = v
+			}
+			if first || v > hi {
+				hi = v
+			}
+			first = false
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	return lo, hi
+}
+
+// bar renders v in [lo, hi] as a 5-char bar.
+func bar(v, lo, hi float64) string {
+	n := int((v - lo) / (hi - lo) * 5)
+	if n < 1 {
+		n = 1
+	}
+	if n > 5 {
+		n = 5
+	}
+	return fmt.Sprintf("%-5s", strings.Repeat("#", n))
+}

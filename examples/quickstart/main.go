@@ -1,0 +1,77 @@
+// Quickstart: summarize the top answers of an aggregate query over a small
+// in-memory table, end to end in ~40 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qagview"
+)
+
+func main() {
+	// 1. Build a relation (normally loaded via qagview.ReadCSV).
+	rel := mustRelation()
+	db := qagview.NewDB()
+	if err := db.Register(rel); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Run the aggregate query: average score per (region, product, tier).
+	res, err := db.Query(`SELECT region, product, tier, avg(score) AS val
+		FROM reviews GROUP BY region, product, tier ORDER BY val DESC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query produced %d ranked groups\n", res.N())
+
+	// 3. Summarize: at most k=3 clusters covering the top L=6 answers, any
+	// two clusters at distance >= D=2.
+	s, err := qagview.NewSummarizer(res, res.N())
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := qagview.Params{K: 3, L: 6, D: 2}
+	sol, err := s.Summarize(qagview.Hybrid, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("objective (avg value of covered answers): %.3f\n\n", sol.AvgValue())
+
+	// 4. Display both layers: clusters, then the answers they cover.
+	fmt.Print(s.Format(sol, true))
+}
+
+func mustRelation() *qagview.Relation {
+	regions := []string{}
+	products := []string{}
+	tiers := []string{}
+	scores := []float64{}
+	add := func(region, product, tier string, score float64, n int) {
+		for i := 0; i < n; i++ {
+			regions = append(regions, region)
+			products = append(products, product)
+			tiers = append(tiers, tier)
+			scores = append(scores, score+float64(i%3)*0.1)
+		}
+	}
+	// Planted structure: the west/gadget pairs score high across tiers.
+	add("west", "gadget", "pro", 4.6, 4)
+	add("west", "gadget", "basic", 4.3, 4)
+	add("west", "widget", "pro", 4.1, 4)
+	add("east", "gadget", "pro", 4.0, 4)
+	add("east", "widget", "basic", 2.4, 4)
+	add("south", "widget", "basic", 2.1, 4)
+	add("south", "gadget", "basic", 3.0, 4)
+	add("east", "widget", "pro", 2.8, 4)
+	rel, err := qagview.FromColumns("reviews",
+		qagview.StringColumn("region", regions),
+		qagview.StringColumn("product", products),
+		qagview.StringColumn("tier", tiers),
+		qagview.FloatColumn("score", scores),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rel
+}

@@ -1,0 +1,103 @@
+package qagview
+
+import (
+	"fmt"
+	"strings"
+
+	"qagview/internal/hierarchy"
+	"qagview/internal/hisummarize"
+)
+
+// Hierarchy types, re-exported for the Appendix A.6 extension: summarization
+// where attributes generalize along concept hierarchies (age ranges, date
+// ranges) instead of collapsing directly to '*'.
+type (
+	// HierarchyTree is a preprocessed concept hierarchy for one attribute.
+	HierarchyTree = hierarchy.Tree
+	// HierarchyNode is an input node for NewHierarchy.
+	HierarchyNode = hierarchy.Node
+	// HiParams are the (k, L, D) parameters for hierarchical summarization.
+	HiParams = hisummarize.Params
+	// HiSolution is a feasible hierarchical cluster set.
+	HiSolution = hisummarize.Solution
+)
+
+// Hierarchy constructors, re-exported.
+var (
+	// NewHierarchy preprocesses a hierarchy rooted at the given node.
+	NewHierarchy = hierarchy.New
+	// NumericRanges builds a range hierarchy over [lo, hi) with the given
+	// fanout, as in the paper's age example (Appendix A.6, Figure 11).
+	NumericRanges = hierarchy.NumericRanges
+)
+
+// HierarchicalSummarizer owns the hierarchical cluster space for one query
+// result: the Appendix A.6 variant of Summarizer.
+type HierarchicalSummarizer struct {
+	space *hisummarize.Space
+	ix    *hisummarize.Index
+}
+
+// NewHierarchicalSummarizer builds the hierarchical cluster space for the
+// top-L tuples. trees supplies one hierarchy per grouping attribute; nil
+// entries (or a nil slice) fall back to the flat '*' semantics for that
+// attribute. Every data value must be a leaf of its attribute's hierarchy.
+func NewHierarchicalSummarizer(res *Result, trees []*HierarchyTree, L int) (*HierarchicalSummarizer, error) {
+	if res == nil {
+		return nil, fmt.Errorf("qagview: nil result")
+	}
+	space, err := hisummarize.NewSpace(res.GroupBy, trees, res.Rows, res.Vals)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := hisummarize.BuildIndex(space, L)
+	if err != nil {
+		return nil, err
+	}
+	return &HierarchicalSummarizer{space: space, ix: ix}, nil
+}
+
+// Summarize runs the named algorithm (bottom-up, fixed-order, or hybrid —
+// the variants supported by the extension) for the given parameters.
+func (h *HierarchicalSummarizer) Summarize(algo Algorithm, p HiParams) (*HiSolution, error) {
+	switch algo {
+	case BottomUp:
+		return hisummarize.BottomUp(h.ix, p)
+	case FixedOrder:
+		return hisummarize.FixedOrder(h.ix, p)
+	case Hybrid:
+		return hisummarize.Hybrid(h.ix, p)
+	default:
+		return nil, fmt.Errorf("qagview: algorithm %q is not supported with hierarchies", algo)
+	}
+}
+
+// Validate checks a hierarchical solution against Definition 4.1 under the
+// hierarchy semantics.
+func (h *HierarchicalSummarizer) Validate(p HiParams, sol *HiSolution) error {
+	return hisummarize.Validate(h.ix, p, sol)
+}
+
+// Format renders a hierarchical solution, with range labels for generalized
+// attributes; expand includes the covered answers.
+func (h *HierarchicalSummarizer) Format(sol *HiSolution, expand bool) string {
+	var sb strings.Builder
+	header := append(append([]string{}, h.space.Attrs...), "avg val", "size")
+	sb.WriteString(strings.Join(header, "  "))
+	sb.WriteByte('\n')
+	for _, c := range sol.Clusters {
+		cells := append(append([]string{}, h.space.Render(c.Pat)...),
+			fmt.Sprintf("%.3f", c.Avg()), fmt.Sprintf("%d", c.Size()))
+		sb.WriteString(strings.Join(cells, "  "))
+		sb.WriteByte('\n')
+		if expand {
+			for _, t := range c.Cov {
+				row := append(append([]string{" "}, h.space.Render(h.space.Tuples[t])...),
+					fmt.Sprintf("%.3f", h.space.Vals[t]), fmt.Sprintf("#%d", int(t)+1))
+				sb.WriteString(strings.Join(row, "  "))
+				sb.WriteByte('\n')
+			}
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,66 @@
+package qagview
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHierarchicalSummarizerEndToEnd(t *testing.T) {
+	db := movieDB(t)
+	res, err := db.Query(`SELECT age, gender, avg(rating) AS val FROM RatingTable
+		WHERE genre_adventure = 1 GROUP BY age, gender HAVING count(*) > 10 ORDER BY val DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N() < 10 {
+		t.Fatalf("only %d groups", res.N())
+	}
+	ageTree, err := NumericRanges(0, 80, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	L := 10
+	h, err := NewHierarchicalSummarizer(res, []*HierarchyTree{ageTree, nil}, L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := HiParams{K: 3, L: L, D: 1}
+	for _, algo := range []Algorithm{BottomUp, FixedOrder, Hybrid} {
+		sol, err := h.Summarize(algo, p)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if err := h.Validate(p, sol); err != nil {
+			t.Errorf("%s infeasible: %v", algo, err)
+		}
+	}
+	if _, err := h.Summarize(BruteForce, p); err == nil {
+		t.Error("unsupported algorithm accepted")
+	}
+	sol, err := h.Summarize(BottomUp, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := h.Format(sol, true)
+	if !strings.Contains(text, "avg val") || !strings.Contains(text, "#1") {
+		t.Errorf("Format malformed:\n%s", text)
+	}
+}
+
+func TestNewHierarchicalSummarizerErrors(t *testing.T) {
+	if _, err := NewHierarchicalSummarizer(nil, nil, 3); err == nil {
+		t.Error("nil result accepted")
+	}
+	res := &Result{GroupBy: []string{"a"}, Rows: [][]string{{"x"}}, Vals: []float64{1}}
+	if _, err := NewHierarchicalSummarizer(res, nil, 5); err == nil {
+		t.Error("L > N accepted")
+	}
+	tree, err := NumericRanges(0, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &Result{GroupBy: []string{"a"}, Rows: [][]string{{"99"}}, Vals: []float64{1}}
+	if _, err := NewHierarchicalSummarizer(bad, []*HierarchyTree{tree}, 1); err == nil {
+		t.Error("value outside hierarchy accepted")
+	}
+}

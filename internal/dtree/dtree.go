@@ -1,0 +1,284 @@
+// Package dtree implements the adapted decision-tree baseline of the
+// paper's user study (Section 8): a CART-style binary decision tree over
+// categorical attributes using equality splits and Gini impurity, trained to
+// separate the top-L tuples from the rest, with the height tuned so that the
+// number of "positive" leaves (where top-L tuples are the majority) is as
+// close as possible to, but no greater than, k — mirroring the paper's use
+// of scikit-learn's DecisionTreeClassifier.
+package dtree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cond is one path condition attr == Value (or attr != Value when Negated).
+type Cond struct {
+	Attr    int
+	Value   int32
+	Negated bool
+}
+
+// Rule is the conjunction of conditions along a root-to-leaf path, with the
+// leaf's statistics.
+type Rule struct {
+	Conds []Cond
+	// Positive is true when top-L tuples are the majority at the leaf.
+	Positive bool
+	// Support is the number of training tuples at the leaf.
+	Support int
+	// PosFrac is the fraction of top-L tuples at the leaf.
+	PosFrac float64
+	// MeanVal is the mean value of training tuples at the leaf.
+	MeanVal float64
+}
+
+// Matches reports whether the rule's conditions hold for tuple x.
+func (r *Rule) Matches(x []int32) bool {
+	for _, c := range r.Conds {
+		if c.Negated {
+			if x[c.Attr] == c.Value {
+				return false
+			}
+		} else if x[c.Attr] != c.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// Complexity measures how hard the rule is for a person to internalize: one
+// unit per equality condition, two per negated condition (the paper
+// hypothesizes — and its study confirms — that negations and deeper paths
+// make decision-tree patterns harder to interpret and memorize than plain
+// *-patterns).
+func (r *Rule) Complexity() int {
+	c := 0
+	for _, cond := range r.Conds {
+		if cond.Negated {
+			c += 2
+		} else {
+			c++
+		}
+	}
+	return c
+}
+
+type node struct {
+	// Leaf fields.
+	leaf     bool
+	positive bool
+	support  int
+	posFrac  float64
+	meanVal  float64
+	// Split fields.
+	attr        int
+	value       int32
+	eq, ne      *node
+	condsToHere []Cond
+}
+
+// Tree is a trained decision tree.
+type Tree struct {
+	root   *node
+	height int
+	m      int
+}
+
+// Train grows a tree of at most maxHeight levels of splits on the given
+// tuples: labels[i] is true when tuple i is a top-L tuple; vals[i] is its
+// value (used only for leaf statistics).
+func Train(tuples [][]int32, labels []bool, vals []float64, maxHeight int) (*Tree, error) {
+	if len(tuples) == 0 {
+		return nil, fmt.Errorf("dtree: no training tuples")
+	}
+	if len(labels) != len(tuples) || len(vals) != len(tuples) {
+		return nil, fmt.Errorf("dtree: %d tuples, %d labels, %d vals", len(tuples), len(labels), len(vals))
+	}
+	if maxHeight < 1 {
+		return nil, fmt.Errorf("dtree: maxHeight = %d, want >= 1", maxHeight)
+	}
+	m := len(tuples[0])
+	idx := make([]int, len(tuples))
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &Tree{height: maxHeight, m: m}
+	t.root = grow(tuples, labels, vals, idx, maxHeight, nil)
+	return t, nil
+}
+
+func gini(pos, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	p := float64(pos) / float64(total)
+	return 2 * p * (1 - p)
+}
+
+func grow(tuples [][]int32, labels []bool, vals []float64, idx []int, depth int, conds []Cond) *node {
+	pos := 0
+	sum := 0.0
+	for _, i := range idx {
+		if labels[i] {
+			pos++
+		}
+		sum += vals[i]
+	}
+	mk := func() *node {
+		return &node{
+			leaf:        true,
+			positive:    2*pos > len(idx),
+			support:     len(idx),
+			posFrac:     float64(pos) / float64(len(idx)),
+			meanVal:     sum / float64(len(idx)),
+			condsToHere: append([]Cond(nil), conds...),
+		}
+	}
+	if depth == 0 || pos == 0 || pos == len(idx) {
+		return mk()
+	}
+	// Find the best (attr, value) equality split by weighted Gini.
+	m := len(tuples[idx[0]])
+	baseGini := gini(pos, len(idx))
+	bestGain := 1e-12
+	bestAttr, bestVal := -1, int32(0)
+	for a := 0; a < m; a++ {
+		// Count (value -> total, pos) in one pass.
+		type cnt struct{ tot, pos int }
+		counts := map[int32]*cnt{}
+		for _, i := range idx {
+			v := tuples[i][a]
+			c := counts[v]
+			if c == nil {
+				c = &cnt{}
+				counts[v] = c
+			}
+			c.tot++
+			if labels[i] {
+				c.pos++
+			}
+		}
+		if len(counts) < 2 {
+			continue
+		}
+		// Deterministic iteration order.
+		keys := make([]int32, 0, len(counts))
+		for v := range counts {
+			keys = append(keys, v)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, v := range keys {
+			c := counts[v]
+			if c.tot == 0 || c.tot == len(idx) {
+				continue
+			}
+			w := float64(c.tot) / float64(len(idx))
+			g := w*gini(c.pos, c.tot) + (1-w)*gini(pos-c.pos, len(idx)-c.tot)
+			if gain := baseGini - g; gain > bestGain {
+				bestGain = gain
+				bestAttr, bestVal = a, v
+			}
+		}
+	}
+	if bestAttr < 0 {
+		return mk()
+	}
+	var eqIdx, neIdx []int
+	for _, i := range idx {
+		if tuples[i][bestAttr] == bestVal {
+			eqIdx = append(eqIdx, i)
+		} else {
+			neIdx = append(neIdx, i)
+		}
+	}
+	n := &node{attr: bestAttr, value: bestVal, condsToHere: append([]Cond(nil), conds...)}
+	n.eq = grow(tuples, labels, vals, eqIdx, depth-1, append(append([]Cond(nil), conds...), Cond{Attr: bestAttr, Value: bestVal}))
+	n.ne = grow(tuples, labels, vals, neIdx, depth-1, append(append([]Cond(nil), conds...), Cond{Attr: bestAttr, Value: bestVal, Negated: true}))
+	return n
+}
+
+// Classify reports whether the tree predicts x to be a top-L tuple.
+func (t *Tree) Classify(x []int32) bool {
+	n := t.root
+	for !n.leaf {
+		if x[n.attr] == n.value {
+			n = n.eq
+		} else {
+			n = n.ne
+		}
+	}
+	return n.positive
+}
+
+// Height returns the height bound the tree was trained with.
+func (t *Tree) Height() int { return t.height }
+
+// Rules returns one rule per leaf, positive leaves first, in path order.
+func (t *Tree) Rules() []Rule {
+	var pos, neg []Rule
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf {
+			r := Rule{
+				Conds:    n.condsToHere,
+				Positive: n.positive,
+				Support:  n.support,
+				PosFrac:  n.posFrac,
+				MeanVal:  n.meanVal,
+			}
+			if n.positive {
+				pos = append(pos, r)
+			} else {
+				neg = append(neg, r)
+			}
+			return
+		}
+		walk(n.eq)
+		walk(n.ne)
+	}
+	walk(t.root)
+	return append(pos, neg...)
+}
+
+// PositiveRules returns only the rules of positive leaves (the paper's
+// "clusters" for the decision-tree method).
+func (t *Tree) PositiveRules() []Rule {
+	var out []Rule
+	for _, r := range t.Rules() {
+		if r.Positive {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// PositiveLeaves counts leaves where top-L tuples are the majority.
+func (t *Tree) PositiveLeaves() int { return len(t.PositiveRules()) }
+
+// TuneK trains trees of increasing height up to maxHeight and returns the
+// one whose positive-leaf count is as close as possible to, but no greater
+// than, k (the paper's tuning procedure). If even height 1 exceeds k it
+// returns the height-1 tree.
+func TuneK(tuples [][]int32, labels []bool, vals []float64, k, maxHeight int) (*Tree, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("dtree: k = %d, want >= 1", k)
+	}
+	var best *Tree
+	bestLeaves := -1
+	for h := 1; h <= maxHeight; h++ {
+		t, err := Train(tuples, labels, vals, h)
+		if err != nil {
+			return nil, err
+		}
+		n := t.PositiveLeaves()
+		if n <= k && n > bestLeaves {
+			best = t
+			bestLeaves = n
+		}
+	}
+	if best == nil {
+		return Train(tuples, labels, vals, 1)
+	}
+	return best, nil
+}

@@ -1,0 +1,177 @@
+package dtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// xorData builds a dataset where the positive class is (A=0 AND B=1), which
+// a depth-2 tree separates exactly.
+func xorData() (tuples [][]int32, labels []bool, vals []float64) {
+	for a := int32(0); a < 3; a++ {
+		for b := int32(0); b < 3; b++ {
+			for rep := 0; rep < 4; rep++ {
+				tuples = append(tuples, []int32{a, b, int32(rep)})
+				pos := a == 0 && b == 1
+				labels = append(labels, pos)
+				v := 1.0
+				if pos {
+					v = 5.0
+				}
+				vals = append(vals, v)
+			}
+		}
+	}
+	return
+}
+
+func TestTrainSeparatesPerfectly(t *testing.T) {
+	tuples, labels, vals := xorData()
+	tr, err := Train(tuples, labels, vals, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range tuples {
+		if tr.Classify(x) != labels[i] {
+			t.Fatalf("misclassified %v (want %v)", x, labels[i])
+		}
+	}
+	if n := tr.PositiveLeaves(); n != 1 {
+		t.Errorf("positive leaves = %d, want 1", n)
+	}
+	rules := tr.PositiveRules()
+	if len(rules) != 1 {
+		t.Fatalf("positive rules = %d", len(rules))
+	}
+	r := rules[0]
+	if r.PosFrac != 1 || r.MeanVal != 5 {
+		t.Errorf("leaf stats wrong: %+v", r)
+	}
+	if !r.Matches([]int32{0, 1, 99}) || r.Matches([]int32{1, 1, 0}) {
+		t.Error("rule Matches wrong")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, nil, nil, 2); err == nil {
+		t.Error("empty data accepted")
+	}
+	if _, err := Train([][]int32{{1}}, []bool{true}, nil, 2); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Train([][]int32{{1}}, []bool{true}, []float64{1}, 0); err == nil {
+		t.Error("height 0 accepted")
+	}
+}
+
+func TestPureNodeStops(t *testing.T) {
+	tuples := [][]int32{{0, 0}, {0, 1}, {1, 0}}
+	labels := []bool{true, true, true}
+	vals := []float64{1, 2, 3}
+	tr, err := Train(tuples, labels, vals, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := tr.Rules()
+	if len(rules) != 1 || !rules[0].Positive || len(rules[0].Conds) != 0 {
+		t.Errorf("pure data should give a single root leaf: %+v", rules)
+	}
+}
+
+func TestRuleComplexityCountsNegations(t *testing.T) {
+	r := Rule{Conds: []Cond{{Attr: 0, Value: 1}, {Attr: 1, Value: 2, Negated: true}}}
+	if got := r.Complexity(); got != 3 {
+		t.Errorf("Complexity = %d, want 3 (1 + 2 for negation)", got)
+	}
+}
+
+func TestTuneKRespectsBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var tuples [][]int32
+	var labels []bool
+	var vals []float64
+	for i := 0; i < 400; i++ {
+		x := []int32{int32(rng.Intn(4)), int32(rng.Intn(4)), int32(rng.Intn(4)), int32(rng.Intn(4))}
+		pos := (x[0] == 0 && x[1] <= 1) || (x[2] == 3 && x[3] == 0)
+		tuples = append(tuples, x)
+		labels = append(labels, pos)
+		vals = append(vals, rng.Float64())
+	}
+	for _, k := range []int{1, 2, 4, 8} {
+		tr, err := TuneK(tuples, labels, vals, k, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := tr.PositiveLeaves(); n > k && tr.Height() != 1 {
+			t.Errorf("k=%d: %d positive leaves", k, n)
+		}
+	}
+	if _, err := TuneK(tuples, labels, vals, 0, 4); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestDeeperTreesDoNotLoseTrainAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var tuples [][]int32
+	var labels []bool
+	var vals []float64
+	for i := 0; i < 300; i++ {
+		x := []int32{int32(rng.Intn(3)), int32(rng.Intn(3)), int32(rng.Intn(3))}
+		tuples = append(tuples, x)
+		labels = append(labels, x[0] == 1 && x[1] != 2)
+		vals = append(vals, 1)
+	}
+	acc := func(tr *Tree) float64 {
+		ok := 0
+		for i, x := range tuples {
+			if tr.Classify(x) == labels[i] {
+				ok++
+			}
+		}
+		return float64(ok) / float64(len(tuples))
+	}
+	var prev float64
+	for h := 1; h <= 5; h++ {
+		tr, err := Train(tuples, labels, vals, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := acc(tr)
+		if a < prev-1e-9 {
+			t.Errorf("height %d train accuracy %v below height %d accuracy %v", h, a, h-1, prev)
+		}
+		prev = a
+	}
+	if prev < 0.99 {
+		t.Errorf("depth-5 tree should fit this target, accuracy = %v", prev)
+	}
+}
+
+func TestRulesPartitionSpace(t *testing.T) {
+	tuples, labels, vals := xorData()
+	tr, err := Train(tuples, labels, vals, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := tr.Rules()
+	for _, x := range tuples {
+		n := 0
+		for i := range rules {
+			if rules[i].Matches(x) {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("tuple %v matched %d leaf rules, want exactly 1", x, n)
+		}
+	}
+	// Support adds up to the dataset size.
+	total := 0
+	for _, r := range rules {
+		total += r.Support
+	}
+	if total != len(tuples) {
+		t.Errorf("supports sum to %d, want %d", total, len(tuples))
+	}
+}

@@ -1,0 +1,120 @@
+// Package engine implements the aggregate query substrate of qagview: a
+// small SQL executor for queries of the form the paper runs against
+// PostgreSQL (Section 3):
+//
+//	SELECT g1, ..., gm, aggr(x) AS val
+//	FROM t
+//	WHERE p1 AND p2 ...
+//	GROUP BY g1, ..., gm
+//	HAVING count(*) > c
+//	ORDER BY val DESC
+//	LIMIT n
+//
+// The output of such a query — ranked group-by tuples with a numeric value —
+// is the relation S that the summarization framework consumes.
+package engine
+
+import "fmt"
+
+// AggFunc identifies an aggregate function.
+type AggFunc int
+
+// Supported aggregates.
+const (
+	AggAvg AggFunc = iota
+	AggSum
+	AggCount
+	AggMin
+	AggMax
+)
+
+// String returns the SQL name of the aggregate.
+func (a AggFunc) String() string {
+	switch a {
+	case AggAvg:
+		return "avg"
+	case AggSum:
+		return "sum"
+	case AggCount:
+		return "count"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", int(a))
+	}
+}
+
+// CmpOp is a comparison operator in WHERE/HAVING predicates.
+type CmpOp int
+
+// Supported comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String returns the SQL spelling of the operator.
+func (o CmpOp) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", int(o))
+	}
+}
+
+// Literal is a WHERE/HAVING comparand: either a string or a number.
+type Literal struct {
+	IsNum bool
+	Num   float64
+	Str   string
+}
+
+// Predicate is a conjunct `column op literal`.
+type Predicate struct {
+	Column string
+	Op     CmpOp
+	Lit    Literal
+}
+
+// AggExpr is `fn(arg) AS alias`. Arg is "*" only for count(*).
+type AggExpr struct {
+	Fn    AggFunc
+	Arg   string // column name, or "*" for count(*)
+	Alias string // output name; defaults to the rendered expression
+}
+
+// Having is a HAVING conjunct `fn(arg) op number`.
+type Having struct {
+	Agg AggExpr
+	Op  CmpOp
+	Num float64
+}
+
+// Query is the parsed form of a supported aggregate query.
+type Query struct {
+	GroupBy []string // also the SELECT group columns, in SELECT order
+	Agg     AggExpr
+	Table   string
+	Where   []Predicate
+	Having  []Having
+	OrderBy string // output column to order by ("" = no ordering)
+	Desc    bool
+	Limit   int // -1 = no limit
+}

@@ -1,0 +1,313 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"qagview/internal/relation"
+)
+
+type catalog map[string]*relation.Relation
+
+func (c catalog) Table(name string) (*relation.Relation, error) {
+	r, ok := c[name]
+	if !ok {
+		return nil, fmt.Errorf("no table %q", name)
+	}
+	return r, nil
+}
+
+func ratings(t *testing.T) catalog {
+	t.Helper()
+	r, err := relation.FromColumns("ratings",
+		relation.StringCol("gender", []string{"M", "M", "F", "F", "M", "F", "M", "M"}),
+		relation.StringCol("occupation", []string{"student", "student", "student", "writer", "writer", "writer", "student", "writer"}),
+		relation.IntCol("adventure", []int64{1, 1, 1, 1, 1, 0, 1, 1}),
+		relation.FloatCol("rating", []float64{5, 4, 3, 2, 1, 5, 3, 4}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return catalog{"ratings": r}
+}
+
+func TestParseFullTemplate(t *testing.T) {
+	q, err := Parse(`SELECT gender, occupation, avg(rating) AS val
+		FROM ratings
+		WHERE adventure = 1 AND gender != 'X'
+		GROUP BY gender, occupation
+		HAVING count(*) > 1
+		ORDER BY val DESC
+		LIMIT 10`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := strings.Join(q.GroupBy, ","); got != "gender,occupation" {
+		t.Errorf("GroupBy = %q", got)
+	}
+	if q.Agg.Fn != AggAvg || q.Agg.Arg != "rating" || q.Agg.Alias != "val" {
+		t.Errorf("Agg = %+v", q.Agg)
+	}
+	if len(q.Where) != 2 || q.Where[1].Op != OpNe || q.Where[1].Lit.Str != "X" {
+		t.Errorf("Where = %+v", q.Where)
+	}
+	if len(q.Having) != 1 || q.Having[0].Agg.Fn != AggCount || q.Having[0].Num != 1 {
+		t.Errorf("Having = %+v", q.Having)
+	}
+	if q.OrderBy != "val" || !q.Desc || q.Limit != 10 {
+		t.Errorf("order/limit = %q %v %d", q.OrderBy, q.Desc, q.Limit)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	q, err := Parse("select a, sum(x) from t group by a")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Agg.Alias != "sum(x)" {
+		t.Errorf("default alias = %q", q.Agg.Alias)
+	}
+	if q.Limit != -1 || q.OrderBy != "" || q.Where != nil || q.Having != nil {
+		t.Errorf("defaults wrong: %+v", q)
+	}
+}
+
+func TestParseOrderAsc(t *testing.T) {
+	q, err := Parse("select a, sum(x) as v from t group by a order by v asc")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Desc {
+		t.Error("ASC parsed as Desc")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"select from t group by a",
+		"select a from t group by a", // no aggregate
+		"select a, sum(x), avg(y) from t group by a",                // two aggregates
+		"select a, sum(*) from t group by a",                        // sum(*)
+		"select a, sum(x) from t group by b",                        // group mismatch
+		"select a, b, sum(x) from t group by a",                     // arity mismatch
+		"select a, sum(x) from t group by a limit -3",               // negative limit
+		"select a, sum(x) from t group by a limit 2.5",              // fractional limit
+		"select a, sum(x) from t where a ~ 3 group by a",            // bad operator char
+		"select a, sum(x) from t where a = 'oops group by a",        // unterminated string
+		"select a, sum(x) from t group by a having a > 3",           // non-aggregate having
+		"select a, sum(x) from t group by a having sum(*) > 3",      // sum(*) in having
+		"select a, sum(x) from t group by a order by v extra stuff", // trailing
+		"select a, sum x from t group by a",                         // missing paren
+		"select select, sum(x) from t group by select",              // keyword as column
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q): want error", sql)
+		}
+	}
+}
+
+func TestExecuteRunningExample(t *testing.T) {
+	cat := ratings(t)
+	res, err := ExecuteSQL(cat, `SELECT gender, occupation, avg(rating) AS val
+		FROM ratings WHERE adventure = 1
+		GROUP BY gender, occupation HAVING count(*) > 1
+		ORDER BY val DESC`)
+	if err != nil {
+		t.Fatalf("ExecuteSQL: %v", err)
+	}
+	// adventure=1 rows: (M,student,5),(M,student,4),(F,student,3),(F,writer,2),
+	// (M,writer,1),(M,student,3),(M,writer,4).
+	// Groups with count>1: (M,student):avg 4, (M,writer):avg 2.5.
+	if res.N() != 2 {
+		t.Fatalf("N = %d, want 2; rows=%v vals=%v", res.N(), res.Rows, res.Vals)
+	}
+	if got := strings.Join(res.Rows[0], "|"); got != "M|student" || res.Vals[0] != 4 {
+		t.Errorf("top row = %q val %v", got, res.Vals[0])
+	}
+	if got := strings.Join(res.Rows[1], "|"); got != "M|writer" || res.Vals[1] != 2.5 {
+		t.Errorf("second row = %q val %v", got, res.Vals[1])
+	}
+	if res.ValName != "val" {
+		t.Errorf("ValName = %q", res.ValName)
+	}
+}
+
+func TestExecuteAggregates(t *testing.T) {
+	cat := ratings(t)
+	cases := []struct {
+		agg  string
+		want map[string]float64 // gender -> value, adventure=1 only
+	}{
+		{"avg(rating)", map[string]float64{"M": 3.4, "F": 2.5}},
+		{"sum(rating)", map[string]float64{"M": 17, "F": 5}},
+		{"count(rating)", map[string]float64{"M": 5, "F": 2}},
+		{"count(*)", map[string]float64{"M": 5, "F": 2}},
+		{"min(rating)", map[string]float64{"M": 1, "F": 2}},
+		{"max(rating)", map[string]float64{"M": 5, "F": 3}},
+	}
+	for _, c := range cases {
+		res, err := ExecuteSQL(cat, "SELECT gender, "+c.agg+" AS val FROM ratings WHERE adventure = 1 GROUP BY gender")
+		if err != nil {
+			t.Fatalf("%s: %v", c.agg, err)
+		}
+		got := map[string]float64{}
+		for i := range res.Rows {
+			got[res.Rows[i][0]] = res.Vals[i]
+		}
+		for g, want := range c.want {
+			if math.Abs(got[g]-want) > 1e-12 {
+				t.Errorf("%s group %s = %v, want %v", c.agg, g, got[g], want)
+			}
+		}
+	}
+}
+
+func TestExecuteLimitAndOrder(t *testing.T) {
+	cat := ratings(t)
+	res, err := ExecuteSQL(cat, `SELECT gender, occupation, avg(rating) AS val
+		FROM ratings GROUP BY gender, occupation ORDER BY val DESC LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N() != 2 {
+		t.Fatalf("N = %d, want 2", res.N())
+	}
+	if res.Vals[0] < res.Vals[1] {
+		t.Errorf("not descending: %v", res.Vals)
+	}
+	asc, err := ExecuteSQL(cat, `SELECT gender, occupation, avg(rating) AS val
+		FROM ratings GROUP BY gender, occupation ORDER BY val ASC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.Float64sAreSorted(asc.Vals) {
+		t.Errorf("ASC not ascending: %v", asc.Vals)
+	}
+}
+
+func TestExecuteNumericWhere(t *testing.T) {
+	cat := ratings(t)
+	res, err := ExecuteSQL(cat, `SELECT gender, count(*) AS val FROM ratings
+		WHERE rating >= 4 GROUP BY gender ORDER BY val DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rating >= 4: rows 0 (M,5), 1 (M,4), 5 (F,5), 7 (M,4).
+	got := map[string]float64{}
+	for i := range res.Rows {
+		got[res.Rows[i][0]] = res.Vals[i]
+	}
+	if got["M"] != 3 || got["F"] != 1 {
+		t.Errorf("counts = %v", got)
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	cat := ratings(t)
+	bad := []string{
+		"SELECT nope, avg(rating) AS val FROM ratings GROUP BY nope",
+		"SELECT gender, avg(nope) AS val FROM ratings GROUP BY gender",
+		"SELECT gender, avg(occupation) AS val FROM ratings GROUP BY gender",
+		"SELECT gender, avg(rating) AS val FROM ratings WHERE nope = 1 GROUP BY gender",
+		"SELECT gender, avg(rating) AS val FROM ratings WHERE gender = 1 GROUP BY gender",
+		"SELECT gender, avg(rating) AS val FROM ratings WHERE rating = 'x' GROUP BY gender",
+		"SELECT gender, avg(rating) AS val FROM ratings WHERE gender > 'a' GROUP BY gender",
+		"SELECT gender, avg(rating) AS val FROM ratings GROUP BY gender HAVING avg(nope) > 1",
+		"SELECT gender, avg(rating) AS val FROM ratings GROUP BY gender HAVING avg(occupation) > 1",
+		"SELECT gender, avg(rating) AS val FROM ratings GROUP BY gender ORDER BY gender",
+		"SELECT gender, avg(rating) AS val FROM missing GROUP BY gender",
+	}
+	for _, sql := range bad {
+		if _, err := ExecuteSQL(cat, sql); err == nil {
+			t.Errorf("ExecuteSQL(%q): want error", sql)
+		}
+	}
+}
+
+// TestExecuteMatchesNaive cross-checks the executor against a tiny
+// independent aggregator on random data.
+func TestExecuteMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 500
+	a := make([]string, n)
+	b := make([]string, n)
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = fmt.Sprintf("a%d", rng.Intn(5))
+		b[i] = fmt.Sprintf("b%d", rng.Intn(4))
+		x[i] = math.Round(rng.Float64()*100) / 10
+	}
+	rel := relation.MustFromColumns("t",
+		relation.StringCol("a", a), relation.StringCol("b", b), relation.FloatCol("x", x))
+	res, err := ExecuteSQL(catalog{"t": rel},
+		"SELECT a, b, avg(x) AS val FROM t GROUP BY a, b HAVING count(*) > 10 ORDER BY val DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type agg struct {
+		sum float64
+		cnt int
+	}
+	naive := map[string]*agg{}
+	for i := 0; i < n; i++ {
+		k := a[i] + "|" + b[i]
+		if naive[k] == nil {
+			naive[k] = &agg{}
+		}
+		naive[k].sum += x[i]
+		naive[k].cnt++
+	}
+	want := map[string]float64{}
+	for k, v := range naive {
+		if v.cnt > 10 {
+			want[k] = v.sum / float64(v.cnt)
+		}
+	}
+	if len(want) != res.N() {
+		t.Fatalf("group count = %d, want %d", res.N(), len(want))
+	}
+	for i := range res.Rows {
+		k := res.Rows[i][0] + "|" + res.Rows[i][1]
+		w, ok := want[k]
+		if !ok {
+			t.Errorf("unexpected group %q", k)
+			continue
+		}
+		if math.Abs(w-res.Vals[i]) > 1e-9 {
+			t.Errorf("group %q = %v, want %v", k, res.Vals[i], w)
+		}
+	}
+	for i := 1; i < res.N(); i++ {
+		if res.Vals[i-1] < res.Vals[i] {
+			t.Errorf("not sorted desc at %d: %v > %v", i, res.Vals[i], res.Vals[i-1])
+		}
+	}
+}
+
+func TestLexStringsAndNumbers(t *testing.T) {
+	toks, err := lexAll(`x = 'it''s' AND y >= -1.5e+2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.kind)
+		texts = append(texts, tok.text)
+	}
+	if texts[2] != "it's" {
+		t.Errorf("escaped string = %q", texts[2])
+	}
+	if kinds[2] != tokString {
+		t.Errorf("kind = %v", kinds[2])
+	}
+	if texts[6] != "-1.5e+2" || kinds[6] != tokNumber {
+		t.Errorf("number token = %q kind %v", texts[6], kinds[6])
+	}
+}

@@ -1,0 +1,317 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"qagview/internal/relation"
+)
+
+// Result is the output relation S of an aggregate query: ranked group-by
+// tuples, each with a numeric value. Rows are in the query's ORDER BY order
+// (for the paper's template, descending value), so row i has rank i+1.
+type Result struct {
+	// GroupBy holds the m group-by attribute names.
+	GroupBy []string
+	// ValName is the alias of the aggregate output column.
+	ValName string
+	// Rows holds one rendered group-by tuple per output row.
+	Rows [][]string
+	// Vals holds the aggregate value per output row, aligned with Rows.
+	Vals []float64
+}
+
+// N returns the number of result tuples.
+func (r *Result) N() int { return len(r.Rows) }
+
+// aggState accumulates one group's aggregate and HAVING aggregates.
+type aggState struct {
+	row     []string
+	sum     float64
+	cnt     int64
+	min     float64
+	max     float64
+	hsum    []float64
+	hcnt    []int64
+	hmin    []float64
+	hmax    []float64
+	touched bool
+}
+
+// Catalog resolves table names for Execute. The root qagview.DB type
+// implements it.
+type Catalog interface {
+	// Table returns the named relation, or an error if unknown.
+	Table(name string) (*relation.Relation, error)
+}
+
+// Execute runs a parsed query against the catalog.
+func Execute(cat Catalog, q *Query) (*Result, error) {
+	rel, err := cat.Table(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	return executeOn(rel, q)
+}
+
+// ExecuteSQL parses and runs sql against the catalog.
+func ExecuteSQL(cat Catalog, sql string) (*Result, error) {
+	q, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return Execute(cat, q)
+}
+
+func executeOn(rel *relation.Relation, q *Query) (*Result, error) {
+	// Resolve columns.
+	groupCols := make([]*relation.Column, len(q.GroupBy))
+	for i, name := range q.GroupBy {
+		c, ok := rel.ColumnByName(name)
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown group-by column %q in table %q", name, rel.Name())
+		}
+		groupCols[i] = c
+	}
+	var aggCol *relation.Column
+	if q.Agg.Arg != "*" {
+		c, ok := rel.ColumnByName(q.Agg.Arg)
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown aggregate column %q in table %q", q.Agg.Arg, rel.Name())
+		}
+		if c.Kind == relation.KindString && q.Agg.Fn != AggCount {
+			return nil, fmt.Errorf("engine: aggregate %s over text column %q", q.Agg.Fn, c.Name)
+		}
+		aggCol = c
+	} else if q.Agg.Fn != AggCount {
+		return nil, fmt.Errorf("engine: %s(*) is not supported", q.Agg.Fn)
+	}
+	preds, err := compilePredicates(rel, q.Where)
+	if err != nil {
+		return nil, err
+	}
+	havingCols := make([]*relation.Column, len(q.Having))
+	for i, h := range q.Having {
+		if h.Agg.Arg == "*" {
+			if h.Agg.Fn != AggCount {
+				return nil, fmt.Errorf("engine: %s(*) is not supported in HAVING", h.Agg.Fn)
+			}
+			continue
+		}
+		c, ok := rel.ColumnByName(h.Agg.Arg)
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown HAVING column %q", h.Agg.Arg)
+		}
+		if c.Kind == relation.KindString && h.Agg.Fn != AggCount {
+			return nil, fmt.Errorf("engine: aggregate %s over text column %q in HAVING", h.Agg.Fn, c.Name)
+		}
+		havingCols[i] = c
+	}
+	if q.OrderBy != "" && q.OrderBy != q.Agg.Alias {
+		return nil, fmt.Errorf("engine: ORDER BY %q must reference the aggregate alias %q", q.OrderBy, q.Agg.Alias)
+	}
+
+	// Group.
+	groups := make(map[string]*aggState)
+	var order []string // group keys in first-seen order, for determinism
+	var sb strings.Builder
+	for row := 0; row < rel.NumRows(); row++ {
+		match := true
+		for _, p := range preds {
+			if !p(row) {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		sb.Reset()
+		for _, c := range groupCols {
+			sb.WriteString(c.StringAt(row))
+			sb.WriteByte(0)
+		}
+		key := sb.String()
+		st, ok := groups[key]
+		if !ok {
+			vals := make([]string, len(groupCols))
+			for i, c := range groupCols {
+				vals[i] = c.StringAt(row)
+			}
+			st = &aggState{
+				row:  vals,
+				min:  math.Inf(1),
+				max:  math.Inf(-1),
+				hsum: make([]float64, len(q.Having)),
+				hcnt: make([]int64, len(q.Having)),
+				hmin: make([]float64, len(q.Having)),
+				hmax: make([]float64, len(q.Having)),
+			}
+			for i := range st.hmin {
+				st.hmin[i] = math.Inf(1)
+				st.hmax[i] = math.Inf(-1)
+			}
+			groups[key] = st
+			order = append(order, key)
+		}
+		st.cnt++
+		if aggCol != nil {
+			v, err := aggCol.FloatAt(row)
+			if err != nil {
+				return nil, err
+			}
+			st.sum += v
+			if v < st.min {
+				st.min = v
+			}
+			if v > st.max {
+				st.max = v
+			}
+			st.touched = true
+		}
+		for i := range q.Having {
+			if havingCols[i] == nil {
+				st.hcnt[i]++
+				continue
+			}
+			v, err := havingCols[i].FloatAt(row)
+			if err != nil {
+				return nil, err
+			}
+			st.hcnt[i]++
+			st.hsum[i] += v
+			if v < st.hmin[i] {
+				st.hmin[i] = v
+			}
+			if v > st.hmax[i] {
+				st.hmax[i] = v
+			}
+		}
+	}
+
+	// HAVING filter and final value.
+	res := &Result{GroupBy: append([]string(nil), q.GroupBy...), ValName: q.Agg.Alias}
+	for _, key := range order {
+		st := groups[key]
+		keep := true
+		for i, h := range q.Having {
+			v := finalize(h.Agg.Fn, st.hsum[i], st.hcnt[i], st.hmin[i], st.hmax[i])
+			if !cmpFloat(v, h.Op, h.Num) {
+				keep = false
+				break
+			}
+		}
+		if !keep {
+			continue
+		}
+		res.Rows = append(res.Rows, st.row)
+		res.Vals = append(res.Vals, finalize(q.Agg.Fn, st.sum, st.cnt, st.min, st.max))
+	}
+
+	// ORDER BY and LIMIT. Sorting is stable so first-seen order breaks ties
+	// deterministically.
+	if q.OrderBy != "" {
+		idx := make([]int, len(res.Rows))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			if q.Desc {
+				return res.Vals[idx[a]] > res.Vals[idx[b]]
+			}
+			return res.Vals[idx[a]] < res.Vals[idx[b]]
+		})
+		rows := make([][]string, len(idx))
+		vals := make([]float64, len(idx))
+		for i, j := range idx {
+			rows[i], vals[i] = res.Rows[j], res.Vals[j]
+		}
+		res.Rows, res.Vals = rows, vals
+	}
+	if q.Limit >= 0 && q.Limit < len(res.Rows) {
+		res.Rows = res.Rows[:q.Limit]
+		res.Vals = res.Vals[:q.Limit]
+	}
+	return res, nil
+}
+
+func finalize(fn AggFunc, sum float64, cnt int64, min, max float64) float64 {
+	switch fn {
+	case AggAvg:
+		if cnt == 0 {
+			return 0
+		}
+		return sum / float64(cnt)
+	case AggSum:
+		return sum
+	case AggCount:
+		return float64(cnt)
+	case AggMin:
+		return min
+	case AggMax:
+		return max
+	default:
+		return 0
+	}
+}
+
+func cmpFloat(a float64, op CmpOp, b float64) bool {
+	switch op {
+	case OpEq:
+		return a == b
+	case OpNe:
+		return a != b
+	case OpLt:
+		return a < b
+	case OpLe:
+		return a <= b
+	case OpGt:
+		return a > b
+	case OpGe:
+		return a >= b
+	default:
+		return false
+	}
+}
+
+// compilePredicates turns WHERE conjuncts into per-row closures bound to the
+// relation's columns. Numeric literals compare numerically against numeric
+// columns; string literals compare against the rendered value of any column.
+func compilePredicates(rel *relation.Relation, preds []Predicate) ([]func(int) bool, error) {
+	out := make([]func(int) bool, 0, len(preds))
+	for _, p := range preds {
+		c, ok := rel.ColumnByName(p.Column)
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown WHERE column %q in table %q", p.Column, rel.Name())
+		}
+		p := p
+		if p.Lit.IsNum {
+			if c.Kind == relation.KindString {
+				return nil, fmt.Errorf("engine: numeric comparison against text column %q", c.Name)
+			}
+			col := c
+			out = append(out, func(row int) bool {
+				v, _ := col.FloatAt(row)
+				return cmpFloat(v, p.Op, p.Lit.Num)
+			})
+			continue
+		}
+		if c.Kind != relation.KindString {
+			return nil, fmt.Errorf("engine: string comparison against %s column %q", c.Kind, c.Name)
+		}
+		if p.Op != OpEq && p.Op != OpNe {
+			return nil, fmt.Errorf("engine: operator %s is not supported for text column %q", p.Op, c.Name)
+		}
+		col := c
+		out = append(out, func(row int) bool {
+			eq := col.Str[row] == p.Lit.Str
+			if p.Op == OpEq {
+				return eq
+			}
+			return !eq
+		})
+	}
+	return out, nil
+}

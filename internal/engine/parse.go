@@ -1,0 +1,363 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a supported aggregate query. See the package comment for the
+// grammar.
+func Parse(sql string) (*Query, error) {
+	toks, err := lexAll(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, p.errf("unexpected trailing input %s", t)
+	}
+	return q, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("engine: parse error near offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+// keyword consumes an identifier equal (case-insensitively) to kw.
+func (p *parser) keyword(kw string) error {
+	t := p.peek()
+	if t.kind != tokIdent || !strings.EqualFold(t.text, kw) {
+		return p.errf("expected %s, got %s", strings.ToUpper(kw), t)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", p.errf("expected identifier, got %s", t)
+	}
+	p.advance()
+	return t.text, nil
+}
+
+func (p *parser) number() (float64, error) {
+	t := p.peek()
+	if t.kind != tokNumber {
+		return 0, p.errf("expected number, got %s", t)
+	}
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, p.errf("bad number %q: %v", t.text, err)
+	}
+	p.advance()
+	return v, nil
+}
+
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "by": true,
+	"having": true, "order": true, "limit": true, "and": true, "as": true,
+	"asc": true, "desc": true,
+}
+
+var aggNames = map[string]AggFunc{
+	"avg": AggAvg, "sum": AggSum, "count": AggCount, "min": AggMin, "max": AggMax,
+}
+
+func (p *parser) query() (*Query, error) {
+	q := &Query{Limit: -1}
+	if err := p.keyword("select"); err != nil {
+		return nil, err
+	}
+	sawAgg := false
+	for {
+		t := p.peek()
+		if t.kind != tokIdent {
+			return nil, p.errf("expected select item, got %s", t)
+		}
+		name := t.text
+		if fn, isAgg := aggNames[strings.ToLower(name)]; isAgg && p.toks[p.pos+1].kind == tokLParen {
+			agg, err := p.aggExpr(fn)
+			if err != nil {
+				return nil, err
+			}
+			if sawAgg {
+				return nil, p.errf("only one aggregate is supported in SELECT")
+			}
+			sawAgg = true
+			q.Agg = agg
+		} else {
+			if keywords[strings.ToLower(name)] {
+				return nil, p.errf("expected select item, got keyword %s", t)
+			}
+			p.advance()
+			q.GroupBy = append(q.GroupBy, name)
+		}
+		if p.peek().kind == tokComma {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if !sawAgg {
+		return nil, p.errf("SELECT must include exactly one aggregate expression")
+	}
+	if err := p.keyword("from"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	q.Table = table
+
+	if p.isKeyword("where") {
+		p.advance()
+		for {
+			pred, err := p.predicate()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = append(q.Where, pred)
+			if p.isKeyword("and") {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+
+	if err := p.keyword("group"); err != nil {
+		return nil, err
+	}
+	if err := p.keyword("by"); err != nil {
+		return nil, err
+	}
+	var groupCols []string
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		groupCols = append(groupCols, col)
+		if p.peek().kind == tokComma {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := sameColumns(q.GroupBy, groupCols); err != nil {
+		return nil, err
+	}
+
+	if p.isKeyword("having") {
+		p.advance()
+		for {
+			h, err := p.having()
+			if err != nil {
+				return nil, err
+			}
+			q.Having = append(q.Having, h)
+			if p.isKeyword("and") {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+
+	if p.isKeyword("order") {
+		p.advance()
+		if err := p.keyword("by"); err != nil {
+			return nil, err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		q.OrderBy = col
+		q.Desc = false
+		if p.isKeyword("desc") {
+			p.advance()
+			q.Desc = true
+		} else if p.isKeyword("asc") {
+			p.advance()
+		}
+	}
+
+	if p.isKeyword("limit") {
+		p.advance()
+		n, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 || n != float64(int(n)) {
+			return nil, p.errf("LIMIT must be a non-negative integer")
+		}
+		q.Limit = int(n)
+	}
+	return q, nil
+}
+
+// sameColumns verifies SELECT group columns and GROUP BY columns agree as
+// sets, as the supported query template requires.
+func sameColumns(sel, grp []string) error {
+	if len(sel) != len(grp) {
+		return fmt.Errorf("engine: SELECT lists %d group columns but GROUP BY lists %d", len(sel), len(grp))
+	}
+	in := make(map[string]bool, len(grp))
+	for _, g := range grp {
+		in[g] = true
+	}
+	for _, s := range sel {
+		if !in[s] {
+			return fmt.Errorf("engine: SELECT column %q is not in GROUP BY", s)
+		}
+	}
+	return nil
+}
+
+func (p *parser) aggExpr(fn AggFunc) (AggExpr, error) {
+	p.advance() // function name
+	if p.peek().kind != tokLParen {
+		return AggExpr{}, p.errf("expected ( after %s, got %s", fn, p.peek())
+	}
+	p.advance() // '('
+	var arg string
+	t := p.peek()
+	switch t.kind {
+	case tokStar:
+		if fn != AggCount {
+			return AggExpr{}, p.errf("%s(*) is not supported; only count(*)", fn)
+		}
+		arg = "*"
+		p.advance()
+	case tokIdent:
+		arg = t.text
+		p.advance()
+	default:
+		return AggExpr{}, p.errf("expected column or * in aggregate, got %s", t)
+	}
+	if p.peek().kind != tokRParen {
+		return AggExpr{}, p.errf("expected ), got %s", p.peek())
+	}
+	p.advance()
+	alias := fmt.Sprintf("%s(%s)", fn, arg)
+	if p.isKeyword("as") {
+		p.advance()
+		a, err := p.ident()
+		if err != nil {
+			return AggExpr{}, err
+		}
+		alias = a
+	}
+	return AggExpr{Fn: fn, Arg: arg, Alias: alias}, nil
+}
+
+func (p *parser) predicate() (Predicate, error) {
+	col, err := p.ident()
+	if err != nil {
+		return Predicate{}, err
+	}
+	op, err := p.cmpOp()
+	if err != nil {
+		return Predicate{}, err
+	}
+	lit, err := p.literal()
+	if err != nil {
+		return Predicate{}, err
+	}
+	return Predicate{Column: col, Op: op, Lit: lit}, nil
+}
+
+func (p *parser) cmpOp() (CmpOp, error) {
+	t := p.peek()
+	if t.kind != tokOp {
+		return 0, p.errf("expected comparison operator, got %s", t)
+	}
+	p.advance()
+	switch t.text {
+	case "=":
+		return OpEq, nil
+	case "!=", "<>":
+		return OpNe, nil
+	case "<":
+		return OpLt, nil
+	case "<=":
+		return OpLe, nil
+	case ">":
+		return OpGt, nil
+	case ">=":
+		return OpGe, nil
+	}
+	return 0, p.errf("unknown operator %q", t.text)
+}
+
+func (p *parser) literal() (Literal, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return Literal{}, p.errf("bad number %q: %v", t.text, err)
+		}
+		p.advance()
+		return Literal{IsNum: true, Num: v}, nil
+	case tokString:
+		p.advance()
+		return Literal{Str: t.text}, nil
+	default:
+		return Literal{}, p.errf("expected literal, got %s", t)
+	}
+}
+
+func (p *parser) having() (Having, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return Having{}, p.errf("expected aggregate in HAVING, got %s", t)
+	}
+	fn, ok := aggNames[strings.ToLower(t.text)]
+	if !ok {
+		return Having{}, p.errf("expected aggregate function in HAVING, got %s", t)
+	}
+	agg, err := p.aggExpr(fn)
+	if err != nil {
+		return Having{}, err
+	}
+	op, err := p.cmpOp()
+	if err != nil {
+		return Having{}, err
+	}
+	n, err := p.number()
+	if err != nil {
+		return Having{}, err
+	}
+	return Having{Agg: agg, Op: op, Num: n}, nil
+}

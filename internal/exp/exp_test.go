@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// sharedEnv is built once; experiments cache query results inside it.
+var sharedEnv *Env
+
+func env(t *testing.T) *Env {
+	t.Helper()
+	if sharedEnv == nil {
+		e, err := NewSmallEnv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedEnv = e
+	}
+	return sharedEnv
+}
+
+// TestEveryExperimentRuns executes the full registry against the small
+// environment: every experiment must produce at least one non-empty table.
+func TestEveryExperimentRuns(t *testing.T) {
+	e := env(t)
+	for _, x := range Registry() {
+		x := x
+		t.Run(x.ID, func(t *testing.T) {
+			tables, err := x.Run(e)
+			if err != nil {
+				t.Fatalf("%s: %v", x.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s: no tables", x.ID)
+			}
+			for _, tb := range tables {
+				if len(tb.Rows) == 0 {
+					t.Errorf("%s/%s: empty table", x.ID, tb.ID)
+				}
+				text := tb.Format()
+				if !strings.Contains(text, tb.ID) {
+					t.Errorf("%s: Format missing id header", tb.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestFindRegistry(t *testing.T) {
+	if _, err := Find("fig5"); err != nil {
+		t.Errorf("Find(fig5): %v", err)
+	}
+	if _, err := Find("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestTunedResultHitsTarget(t *testing.T) {
+	e := env(t)
+	res, err := e.MovieLensResult(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N() < 50 || res.N() > 400 {
+		t.Errorf("tuned N = %d, wanted near 100", res.N())
+	}
+}
+
+func TestTableFormatAlignment(t *testing.T) {
+	tb := Table{ID: "x", Title: "demo", Header: []string{"a", "bb"}, Notes: "n"}
+	tb.Add("longer", 1.5)
+	text := tb.Format()
+	if !strings.Contains(text, "longer") || !strings.Contains(text, "1.500") || !strings.Contains(text, "note: n") {
+		t.Errorf("format output:\n%s", text)
+	}
+}

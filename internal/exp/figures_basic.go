@@ -1,0 +1,407 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"qagview"
+	"qagview/internal/movielens"
+)
+
+// AdventureResultN is the running-example query with the HAVING threshold
+// tuned for roughly targetN output groups.
+func (e *Env) AdventureResultN(targetN int) (*qagview.Result, error) {
+	return e.tunedResult(e.ML, "RatingTable", func(m, c int) (string, error) {
+		return movielens.Query(4, c, "genre_adventure = 1")
+	}, 4, targetN)
+}
+
+// Fig1 reproduces the running example (Figures 1a-1c): the top/bottom of the
+// adventure-genre ranking and the k=4, L=8, D=2 summary with its expansion.
+func Fig1(e *Env) ([]Table, error) {
+	res, err := e.AdventureResultN(50)
+	if err != nil {
+		return nil, err
+	}
+	if res.N() < 8 {
+		return nil, fmt.Errorf("exp: adventure query yields only %d groups", res.N())
+	}
+	ranking := Table{
+		ID:     "fig1a",
+		Title:  "Top-8 and bottom-8 adventure aggregate answers",
+		Header: append(append([]string{"rank"}, res.GroupBy...), "val"),
+		Notes:  fmt.Sprintf("N = %d groups (paper: 50)", res.N()),
+	}
+	addRank := func(i int) {
+		cells := []any{i + 1}
+		for _, c := range res.Rows[i] {
+			cells = append(cells, c)
+		}
+		cells = append(cells, res.Vals[i])
+		ranking.Add(cells...)
+	}
+	for i := 0; i < 8 && i < res.N(); i++ {
+		addRank(i)
+	}
+	for i := res.N() - 8; i < res.N(); i++ {
+		if i >= 8 {
+			addRank(i)
+		}
+	}
+
+	s, err := qagview.NewSummarizer(res, res.N())
+	if err != nil {
+		return nil, err
+	}
+	p := qagview.Params{K: 4, L: 8, D: 2}
+	sol, err := s.Summarize(qagview.Hybrid, p)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Validate(p, sol); err != nil {
+		return nil, err
+	}
+	clusters := Table{
+		ID:     "fig1b",
+		Title:  "Clusters for k=4, L=8, D=2 (first layer)",
+		Header: append(append([]string{}, res.GroupBy...), "avg val", "size"),
+	}
+	expanded := Table{
+		ID:     "fig1c",
+		Title:  "Clusters with covered answers (second layer)",
+		Header: append(append([]string{}, res.GroupBy...), "val", "rank"),
+	}
+	for _, row := range s.Rows(sol) {
+		cells := []any{}
+		for _, c := range row.Pattern {
+			cells = append(cells, c)
+		}
+		clusters.Add(append(cells, row.Avg, row.Size)...)
+		expanded.Add(append(cells, row.Avg, "cluster")...)
+		for _, m := range row.Members {
+			mc := []any{}
+			for _, c := range m.Row {
+				mc = append(mc, c)
+			}
+			expanded.Add(append(mc, m.Val, fmt.Sprintf("%d", m.Rank))...)
+		}
+	}
+	return []Table{ranking, clusters, expanded}, nil
+}
+
+// Fig2 reproduces the parameter-selection guidance view: solution value vs k
+// for each D, at L = 15.
+func Fig2(e *Env) ([]Table, error) {
+	res, err := e.AdventureResultN(50)
+	if err != nil {
+		return nil, err
+	}
+	L := 15
+	if res.N() < L {
+		L = res.N()
+	}
+	s, err := qagview.NewSummarizer(res, L)
+	if err != nil {
+		return nil, err
+	}
+	kMin, kMax := 2, 15
+	ds := []int{1, 2, 3, 4, 5, 6}
+	if m := s.M(); kMax > 0 {
+		for len(ds) > 0 && ds[len(ds)-1] > m {
+			ds = ds[:len(ds)-1]
+		}
+	}
+	store, err := s.Precompute(kMin, kMax, ds)
+	if err != nil {
+		return nil, err
+	}
+	g := store.Guidance()
+	t := Table{
+		ID:    "fig2",
+		Title: fmt.Sprintf("Guidance view: avg value vs k (columns) per D (rows), L=%d", L),
+		Notes: "the paper's Figure 2 plots these series as lines",
+	}
+	t.Header = []string{"D"}
+	for k := kMin; k <= kMax; k++ {
+		t.Header = append(t.Header, fmt.Sprintf("k=%d", k))
+	}
+	for _, d := range ds {
+		cells := []any{d}
+		for _, v := range g.Series[d] {
+			cells = append(cells, v)
+		}
+		t.Add(cells...)
+	}
+	return []Table{t}, nil
+}
+
+// Fig5 compares brute force against the heuristics at L=5, D=3, k=2..4
+// (Figures 5a and 5b): running time and objective value, with the random
+// and k-means Fixed-Order variants averaged over 100 runs.
+func Fig5(e *Env) ([]Table, error) {
+	res, err := e.AdventureResultN(50)
+	if err != nil {
+		return nil, err
+	}
+	s, err := qagview.NewSummarizer(res, res.N())
+	if err != nil {
+		return nil, err
+	}
+	runtime := Table{
+		ID:     "fig5a",
+		Title:  "Running time (ms) vs k; L=5, D=3",
+		Header: []string{"algorithm", "k=2", "k=3", "k=4"},
+	}
+	value := Table{
+		ID:     "fig5b",
+		Title:  "Average value vs k; L=5, D=3",
+		Header: []string{"algorithm", "k=2", "k=3", "k=4"},
+	}
+	algos := []qagview.Algorithm{
+		qagview.BruteForce, qagview.BottomUp, qagview.FixedOrder, qagview.Hybrid,
+	}
+	const randomRuns = 100
+	for _, algo := range algos {
+		rt := []any{string(algo)}
+		vt := []any{string(algo)}
+		for k := 2; k <= 4; k++ {
+			p := qagview.Params{K: k, L: 5, D: 3}
+			t0 := startTimer()
+			sol, err := s.Summarize(algo, p)
+			if err != nil {
+				return nil, fmt.Errorf("%s k=%d: %w", algo, k, err)
+			}
+			rt = append(rt, fms(t0.ms()))
+			vt = append(vt, sol.AvgValue())
+		}
+		runtime.Add(rt...)
+		value.Add(vt...)
+	}
+	for _, algo := range []qagview.Algorithm{qagview.RandomFixedOrder, qagview.KMeansFixedOrder} {
+		rt := []any{string(algo)}
+		vt := []any{string(algo)}
+		for k := 2; k <= 4; k++ {
+			p := qagview.Params{K: k, L: 5, D: 3}
+			t0 := startTimer()
+			var vals []float64
+			for run := 0; run < randomRuns; run++ {
+				sol, err := s.Summarize(algo, p, qagview.WithRand(rand.New(rand.NewSource(int64(run)))))
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, sol.AvgValue())
+			}
+			rt = append(rt, fms(t0.ms()/randomRuns))
+			vt = append(vt, fmt.Sprintf("%.3f±%.3f", mean(vals), std(vals)))
+		}
+		runtime.Add(rt...)
+		value.Add(vt...)
+	}
+	lb := s.LowerBound()
+	value.Add("lower-bound", lb.AvgValue(), lb.AvgValue(), lb.AvgValue())
+	value.Notes = fmt.Sprintf("random variants averaged over %d seeds; N = %d", randomRuns, res.N())
+	return []Table{runtime, value}, nil
+}
+
+// fig6Setup builds the default Figure 6 summarizer: m = 8 grouping
+// attributes with the output tuned to roughly 200 groups (the paper's input
+// sizes for this figure range from 140 to 280).
+func (e *Env) fig6Setup(L int) (*qagview.Summarizer, *qagview.Result, error) {
+	res, err := e.MovieLensResult(8, 200)
+	if err != nil {
+		return nil, nil, err
+	}
+	if res.N() < L {
+		return nil, nil, fmt.Errorf("exp: fig6 result has %d < L = %d groups", res.N(), L)
+	}
+	s, err := qagview.NewSummarizer(res, L)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, res, nil
+}
+
+var fig6Algos = []qagview.Algorithm{qagview.BottomUp, qagview.FixedOrder, qagview.Hybrid}
+
+// sweepTables runs the three main algorithms over a parameter sweep and
+// emits the runtime and value tables.
+func sweepTables(idPrefix, axis string, points []int, run func(algo qagview.Algorithm, x int) (float64, float64, error), lower func(x int) (float64, error)) ([]Table, error) {
+	runtime := Table{ID: idPrefix + "-runtime", Title: "Running time (ms) vs " + axis}
+	value := Table{ID: idPrefix + "-value", Title: "Average value vs " + axis}
+	runtime.Header = []string{"algorithm"}
+	value.Header = []string{"algorithm"}
+	for _, x := range points {
+		runtime.Header = append(runtime.Header, fmt.Sprintf("%s=%d", axis, x))
+		value.Header = append(value.Header, fmt.Sprintf("%s=%d", axis, x))
+	}
+	for _, algo := range fig6Algos {
+		rt := []any{string(algo)}
+		vt := []any{string(algo)}
+		for _, x := range points {
+			ms, v, err := run(algo, x)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s=%d: %w", algo, axis, x, err)
+			}
+			rt = append(rt, fms(ms))
+			vt = append(vt, v)
+		}
+		runtime.Add(rt...)
+		value.Add(vt...)
+	}
+	if lower != nil {
+		vt := []any{"lower-bound"}
+		for _, x := range points {
+			v, err := lower(x)
+			if err != nil {
+				return nil, err
+			}
+			vt = append(vt, v)
+		}
+		value.Add(vt...)
+	}
+	return []Table{runtime, value}, nil
+}
+
+// Fig6K varies the size parameter k (Figures 6a/6b): L=40, D=3.
+func Fig6K(e *Env) ([]Table, error) {
+	s, res, err := e.fig6Setup(40)
+	if err != nil {
+		return nil, err
+	}
+	tables, err := sweepTables("fig6ab", "k", []int{5, 10, 20, 40},
+		func(algo qagview.Algorithm, k int) (float64, float64, error) {
+			p := qagview.Params{K: k, L: 40, D: 3}
+			t0 := startTimer()
+			sol, err := s.Summarize(algo, p)
+			if err != nil {
+				return 0, 0, err
+			}
+			return t0.ms(), sol.AvgValue(), nil
+		},
+		func(int) (float64, error) { return s.LowerBound().AvgValue(), nil })
+	if err != nil {
+		return nil, err
+	}
+	tables[0].Notes = fmt.Sprintf("m=8, L=40, D=3, N=%d", res.N())
+	return tables, nil
+}
+
+// Fig6L varies the coverage parameter L (Figures 6c/6d): k=3, D=3.
+func Fig6L(e *Env) ([]Table, error) {
+	s, res, err := e.fig6Setup(81)
+	if err != nil {
+		return nil, err
+	}
+	tables, err := sweepTables("fig6cd", "L", []int{3, 9, 27, 81},
+		func(algo qagview.Algorithm, L int) (float64, float64, error) {
+			p := qagview.Params{K: 3, L: L, D: 3}
+			t0 := startTimer()
+			sol, err := s.Summarize(algo, p)
+			if err != nil {
+				return 0, 0, err
+			}
+			return t0.ms(), sol.AvgValue(), nil
+		},
+		func(int) (float64, error) { return s.LowerBound().AvgValue(), nil })
+	if err != nil {
+		return nil, err
+	}
+	tables[0].Notes = fmt.Sprintf("m=8, k=3, D=3, N=%d", res.N())
+	return tables, nil
+}
+
+// Fig6D varies the distance parameter D (Figures 6e/6f): k=10, L=40.
+func Fig6D(e *Env) ([]Table, error) {
+	s, res, err := e.fig6Setup(40)
+	if err != nil {
+		return nil, err
+	}
+	tables, err := sweepTables("fig6ef", "D", []int{1, 2, 3, 4, 5, 6},
+		func(algo qagview.Algorithm, D int) (float64, float64, error) {
+			p := qagview.Params{K: 10, L: 40, D: D}
+			t0 := startTimer()
+			sol, err := s.Summarize(algo, p)
+			if err != nil {
+				return 0, 0, err
+			}
+			return t0.ms(), sol.AvgValue(), nil
+		},
+		func(int) (float64, error) { return s.LowerBound().AvgValue(), nil })
+	if err != nil {
+		return nil, err
+	}
+	tables[0].Notes = fmt.Sprintf("m=8, k=10, L=40, N=%d", res.N())
+	return tables, nil
+}
+
+// Fig6M varies the number of grouping attributes m (Figures 6g/6h):
+// initialization time per m, and algorithm running time at k=L=20, D=3.
+func Fig6M(e *Env) ([]Table, error) {
+	initT := Table{
+		ID:     "fig6g",
+		Title:  "Initialization time (ms) vs m",
+		Header: []string{"m", "N", "clusters", "init ms"},
+	}
+	algoT := Table{
+		ID:     "fig6h",
+		Title:  "Running time (ms) vs m; k=L=20, D=3",
+		Header: append([]string{"m"}, algoNames(fig6Algos)...),
+	}
+	for m := 4; m <= 10; m++ {
+		res, err := e.MovieLensResult(m, 200)
+		if err != nil {
+			return nil, err
+		}
+		if res.N() < 20 {
+			return nil, fmt.Errorf("exp: m=%d yields only %d groups", m, res.N())
+		}
+		t0 := startTimer()
+		s, err := qagview.NewSummarizer(res, 20)
+		if err != nil {
+			return nil, err
+		}
+		initMs := t0.ms()
+		initT.Add(m, res.N(), s.NumClusters(), fms(initMs))
+		row := []any{m}
+		for _, algo := range fig6Algos {
+			d := 3
+			if d > m {
+				d = m
+			}
+			p := qagview.Params{K: 20, L: 20, D: d}
+			t1 := startTimer()
+			if _, err := s.Summarize(algo, p); err != nil {
+				return nil, err
+			}
+			row = append(row, fms(t1.ms()))
+		}
+		algoT.Add(row...)
+	}
+	return []Table{initT, algoT}, nil
+}
+
+func algoNames(algos []qagview.Algorithm) []string {
+	out := make([]string, len(algos))
+	for i, a := range algos {
+		out[i] = string(a)
+	}
+	return out
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func std(xs []float64) float64 {
+	m := mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}

@@ -1,0 +1,316 @@
+package exp
+
+import (
+	"fmt"
+
+	"qagview"
+	"qagview/internal/baselines"
+	"qagview/internal/dtree"
+	"qagview/internal/lattice"
+	"qagview/internal/summarize"
+	"qagview/internal/userstudy"
+)
+
+// studySetup builds the lattice objects the user-study and baseline
+// experiments need directly.
+func studySetup(res *qagview.Result, L int) (*lattice.Space, *lattice.Index, error) {
+	space, err := lattice.NewSpace(res.GroupBy, res.Rows, res.Vals)
+	if err != nil {
+		return nil, nil, err
+	}
+	ix, err := lattice.BuildIndex(space, L)
+	if err != nil {
+		return nil, nil, err
+	}
+	return space, ix, nil
+}
+
+// Table1 reproduces the user study summary (Tables 1/2) with simulated
+// subjects: the varying-method, varying-k, and varying-D task groups.
+func Table1(e *Env) ([]Table, error) {
+	res, err := e.MovieLensResult(4, 300)
+	if err != nil {
+		return nil, err
+	}
+	if res.N() < 60 {
+		return nil, fmt.Errorf("exp: need at least 60 groups for the user study, have %d", res.N())
+	}
+	cfg := userstudy.DefaultConfig()
+
+	out := Table{
+		ID:     "table1",
+		Title:  "Simulated user study (paper Table 1)",
+		Header: []string{"task group", "condition", "section", "time/question (s)", "T-accuracy", "TH-accuracy"},
+		Notes:  fmt.Sprintf("%d simulated subjects; mean±std", cfg.Subjects),
+	}
+	emit := func(group, cond string, rep userstudy.Report) {
+		for _, sec := range []userstudy.Section{userstudy.PatternsOnly, userstudy.MemoryOnly, userstudy.PatternsMembers} {
+			o := rep[sec]
+			out.Add(group, cond, sec.String(),
+				fmt.Sprintf("%.1f±%.1f", o.TimeMean, o.TimeStd),
+				fmt.Sprintf("%.3f±%.3f", o.TAcc, o.TAccStd),
+				fmt.Sprintf("%.3f±%.3f", o.THAcc, o.THAccStd))
+		}
+	}
+
+	ourRules := func(space *lattice.Space, ix *lattice.Index, k, L, D int) (userstudy.RuleSet, error) {
+		sol, err := summarize.Hybrid(ix, summarize.Params{K: k, L: L, D: D})
+		if err != nil {
+			return userstudy.RuleSet{}, err
+		}
+		return userstudy.FromSolution(ix, sol), nil
+	}
+
+	// Varying-method: L=50, k=10, D=1; ours vs decision tree (height tuned).
+	{
+		L := 50
+		space, ix, err := studySetup(res, L)
+		if err != nil {
+			return nil, err
+		}
+		ours, err := ourRules(space, ix, 10, L, 1)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := userstudy.Simulate(space, L, ours, cfg)
+		if err != nil {
+			return nil, err
+		}
+		emit("varying-method", "our method", rep)
+
+		labels := make([]bool, space.N())
+		for i := range labels {
+			labels[i] = i < L
+		}
+		tuples := make([][]int32, space.N())
+		for i := range tuples {
+			tuples[i] = space.Tuples[i]
+		}
+		tree, err := dtree.TuneK(tuples, labels, space.Vals, 10, 7)
+		if err != nil {
+			return nil, err
+		}
+		dt := userstudy.FromDecisionTree(space, tree)
+		if len(dt.Rules) == 0 {
+			return nil, fmt.Errorf("exp: decision tree has no positive leaves")
+		}
+		rep, err = userstudy.Simulate(space, L, dt, cfg)
+		if err != nil {
+			return nil, err
+		}
+		emit("varying-method", fmt.Sprintf("decision tree (h=%d)", tree.Height()), rep)
+	}
+
+	// Varying-k: L=30, D=1; k=5 vs k=10.
+	{
+		L := 30
+		space, ix, err := studySetup(res, L)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range []int{5, 10} {
+			rules, err := ourRules(space, ix, k, L, 1)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := userstudy.Simulate(space, L, rules, cfg)
+			if err != nil {
+				return nil, err
+			}
+			emit("varying-k", fmt.Sprintf("k=%d", k), rep)
+		}
+	}
+
+	// Varying-D: L=10, k=7; D=1 vs D=3.
+	{
+		L := 10
+		space, ix, err := studySetup(res, L)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range []int{1, 3} {
+			rules, err := ourRules(space, ix, 7, L, d)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := userstudy.Simulate(space, L, rules, cfg)
+			if err != nil {
+				return nil, err
+			}
+			emit("varying-D", fmt.Sprintf("D=%d", d), rep)
+		}
+	}
+	return []Table{out}, nil
+}
+
+// Fig16 reproduces the comparison-visualization experiment (Figures 16a and
+// 16b): total weighted distance and band crossings under the matched
+// (Hungarian) placement vs the default value-ordered placement, for
+// consecutive solutions with D=2 and (k, (L1, L2)) in {(5,(8,10)),
+// (10,(15,20)), (20,(30,40))}.
+func Fig16(e *Env) ([]Table, error) {
+	res, err := e.MovieLensResult(8, 2087)
+	if err != nil {
+		return nil, err
+	}
+	dist := Table{
+		ID:     "fig16a",
+		Title:  "Total distance: matched vs default placement",
+		Header: []string{"k", "L1->L2", "matched", "default"},
+	}
+	cross := Table{
+		ID:     "fig16b",
+		Title:  "Band crossings: matched vs default placement",
+		Header: []string{"k", "L1->L2", "matched", "default"},
+	}
+	cases := []struct{ k, l1, l2 int }{{5, 8, 10}, {10, 15, 20}, {20, 30, 40}}
+	for _, c := range cases {
+		s, err := qagview.NewSummarizer(res, c.l2)
+		if err != nil {
+			return nil, err
+		}
+		oldSol, err := s.Summarize(qagview.Hybrid, qagview.Params{K: c.k, L: c.l1, D: 2})
+		if err != nil {
+			return nil, err
+		}
+		newSol, err := s.Summarize(qagview.Hybrid, qagview.Params{K: c.k, L: c.l2, D: 2})
+		if err != nil {
+			return nil, err
+		}
+		diff, err := s.Compare(oldSol, newSol)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := diff.OptimalOrder()
+		if err != nil {
+			return nil, err
+		}
+		def := diff.DefaultOrder()
+		lbl := fmt.Sprintf("%d->%d", c.l1, c.l2)
+		dist.Add(c.k, lbl, diff.TotalDistance(opt), diff.TotalDistance(def))
+		cross.Add(c.k, lbl, diff.Crossings(opt), diff.Crossings(def))
+	}
+	return []Table{dist, cross}, nil
+}
+
+// AppendixA5 reproduces the qualitative baseline comparison on the running
+// example (Appendix A.5): smart drill-down, diversified top-k, DisC
+// diversity, and MMR outputs with k=4, D=2, L=10.
+func AppendixA5(e *Env) ([]Table, error) {
+	res, err := e.AdventureResultN(50)
+	if err != nil {
+		return nil, err
+	}
+	L := 10
+	if res.N() < L {
+		return nil, fmt.Errorf("exp: adventure result has only %d groups", res.N())
+	}
+	space, ix, err := studySetup(res, L)
+	if err != nil {
+		return nil, err
+	}
+	var tables []Table
+
+	// Our method, for reference (Figure 1b analogue at these parameters).
+	s, err := qagview.NewSummarizer(res, L)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := s.Summarize(qagview.Hybrid, qagview.Params{K: 4, L: L, D: 2})
+	if err != nil {
+		return nil, err
+	}
+	ours := Table{
+		ID:     "a5-ours",
+		Title:  "Our method (k=4, L=10, D=2)",
+		Header: append(append([]string{}, res.GroupBy...), "avg val", "size"),
+	}
+	for _, r := range s.Rows(sol) {
+		cells := []any{}
+		for _, c := range r.Pattern {
+			cells = append(cells, c)
+		}
+		ours.Add(append(cells, r.Avg, r.Size)...)
+	}
+	tables = append(tables, ours)
+
+	for _, scope := range []struct {
+		name  string
+		scope baselines.Scope
+	}{{"top-10 elements", baselines.ScopeTopL}, {"all elements", baselines.ScopeAll}} {
+		rules, err := baselines.SmartDrillDown(ix, 4, scope.scope)
+		if err != nil {
+			return nil, err
+		}
+		t := Table{
+			ID:     "a5-smartdrilldown-" + string(scope.name[0:3]),
+			Title:  "Smart drill-down on " + scope.name,
+			Header: append(append([]string{}, res.GroupBy...), "avg score", "marginal", "weight"),
+		}
+		for _, r := range rules {
+			cells := []any{}
+			for _, c := range space.Render(r.Cluster.Pat) {
+				cells = append(cells, c)
+			}
+			t.Add(append(cells, r.Val, r.MarginalCount, r.Weight)...)
+		}
+		tables = append(tables, t)
+	}
+
+	divk, err := baselines.DiversifiedTopKExact(space, L, 4, 2)
+	if err != nil {
+		return nil, err
+	}
+	dt := Table{
+		ID:     "a5-divtopk",
+		Title:  "Diversified top-k on top-10 elements (k=4, D=2)",
+		Header: append(append([]string{}, res.GroupBy...), "score", "avg score (radius D-1)"),
+	}
+	for _, rank := range divk {
+		cells := []any{}
+		for _, c := range res.Rows[rank] {
+			cells = append(cells, c)
+		}
+		dt.Add(append(cells, res.Vals[rank], baselines.NeighborhoodAvg(space, L, rank, 2))...)
+	}
+	tables = append(tables, dt)
+
+	disc, err := baselines.DisC(space, L, 1)
+	if err != nil {
+		return nil, err
+	}
+	dc := Table{
+		ID:     "a5-disc",
+		Title:  "DisC diversity on top-10 elements (radius 1)",
+		Header: append(append([]string{}, res.GroupBy...), "score", "avg score (radius D-1)"),
+	}
+	for _, rank := range disc {
+		cells := []any{}
+		for _, c := range res.Rows[rank] {
+			cells = append(cells, c)
+		}
+		dc.Add(append(cells, res.Vals[rank], baselines.NeighborhoodAvg(space, L, rank, 2))...)
+	}
+	tables = append(tables, dc)
+
+	mmr := Table{
+		ID:     "a5-mmr",
+		Title:  "MMR λ-parameterized selection on top-10 elements (k=4)",
+		Header: append(append([]string{"lambda"}, res.GroupBy...), "score"),
+	}
+	for _, lambda := range []float64{0, 0.2, 0.5, 0.8, 1.0} {
+		picks, err := baselines.MMR(space, L, 4, lambda)
+		if err != nil {
+			return nil, err
+		}
+		for _, rank := range picks {
+			cells := []any{fmt.Sprintf("%.1f", lambda)}
+			for _, c := range res.Rows[rank] {
+				cells = append(cells, c)
+			}
+			mmr.Add(append(cells, res.Vals[rank])...)
+		}
+	}
+	tables = append(tables, mmr)
+	return tables, nil
+}

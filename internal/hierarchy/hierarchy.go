@@ -1,0 +1,239 @@
+// Package hierarchy implements the concept-hierarchy extension of Appendix
+// A.6 of the paper: per-attribute trees whose internal nodes are range or
+// category generalizations of the leaf values, with O(log n) lowest-common-
+// ancestor queries via binary lifting (the paper cites Harel-Tarjan-style
+// fast LCA). Merging two values under a hierarchy generalizes to their LCA
+// label instead of collapsing straight to '*', yielding range summaries such
+// as "[20, 40)" for ages.
+package hierarchy
+
+import (
+	"fmt"
+)
+
+// Node is an input tree node; Label must be unique within the tree.
+type Node struct {
+	Label    string
+	Children []*Node
+}
+
+// Tree is a preprocessed hierarchy supporting O(log n) LCA queries.
+type Tree struct {
+	labels   []string
+	parent   []int
+	depth    []int
+	children [][]int
+	byLabel  map[string]int
+	up       [][]int // binary lifting table: up[j][v] = 2^j-th ancestor
+}
+
+// New validates and preprocesses a hierarchy rooted at root.
+func New(root *Node) (*Tree, error) {
+	if root == nil {
+		return nil, fmt.Errorf("hierarchy: nil root")
+	}
+	t := &Tree{byLabel: make(map[string]int)}
+	var add func(n *Node, parent int, depth int) error
+	add = func(n *Node, parent, depth int) error {
+		if n.Label == "" {
+			return fmt.Errorf("hierarchy: empty label under %q", labelOf(t, parent))
+		}
+		if _, dup := t.byLabel[n.Label]; dup {
+			return fmt.Errorf("hierarchy: duplicate label %q", n.Label)
+		}
+		id := len(t.labels)
+		t.byLabel[n.Label] = id
+		t.labels = append(t.labels, n.Label)
+		t.parent = append(t.parent, parent)
+		t.depth = append(t.depth, depth)
+		t.children = append(t.children, nil)
+		if parent >= 0 {
+			t.children[parent] = append(t.children[parent], id)
+		}
+		for _, c := range n.Children {
+			if err := add(c, id, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := add(root, -1, 0); err != nil {
+		return nil, err
+	}
+	// Binary lifting table.
+	levels := 1
+	for 1<<levels < len(t.labels) {
+		levels++
+	}
+	t.up = make([][]int, levels+1)
+	t.up[0] = append([]int(nil), t.parent...)
+	for j := 1; j <= levels; j++ {
+		t.up[j] = make([]int, len(t.labels))
+		for v := range t.labels {
+			mid := t.up[j-1][v]
+			if mid < 0 {
+				t.up[j][v] = -1
+			} else {
+				t.up[j][v] = t.up[j-1][mid]
+			}
+		}
+	}
+	return t, nil
+}
+
+func labelOf(t *Tree, id int) string {
+	if id < 0 {
+		return "<root>"
+	}
+	return t.labels[id]
+}
+
+// Len returns the number of nodes.
+func (t *Tree) Len() int { return len(t.labels) }
+
+// Root returns the root label.
+func (t *Tree) Root() string { return t.labels[0] }
+
+// Contains reports whether label is a node of the hierarchy.
+func (t *Tree) Contains(label string) bool {
+	_, ok := t.byLabel[label]
+	return ok
+}
+
+// IsLeaf reports whether label is a leaf (a concrete attribute value).
+func (t *Tree) IsLeaf(label string) (bool, error) {
+	id, ok := t.byLabel[label]
+	if !ok {
+		return false, fmt.Errorf("hierarchy: unknown label %q", label)
+	}
+	return len(t.children[id]) == 0, nil
+}
+
+// Depth returns the depth of the labeled node (root = 0).
+func (t *Tree) Depth(label string) (int, error) {
+	id, ok := t.byLabel[label]
+	if !ok {
+		return 0, fmt.Errorf("hierarchy: unknown label %q", label)
+	}
+	return t.depth[id], nil
+}
+
+// lcaID computes the LCA of two node ids by binary lifting.
+func (t *Tree) lcaID(a, b int) int {
+	if t.depth[a] < t.depth[b] {
+		a, b = b, a
+	}
+	diff := t.depth[a] - t.depth[b]
+	for j := 0; diff > 0; j++ {
+		if diff&1 == 1 {
+			a = t.up[j][a]
+		}
+		diff >>= 1
+	}
+	if a == b {
+		return a
+	}
+	for j := len(t.up) - 1; j >= 0; j-- {
+		if t.up[j][a] != t.up[j][b] {
+			a = t.up[j][a]
+			b = t.up[j][b]
+		}
+	}
+	return t.parent[a]
+}
+
+// LCA returns the label of the lowest common ancestor of two labels.
+func (t *Tree) LCA(a, b string) (string, error) {
+	ia, ok := t.byLabel[a]
+	if !ok {
+		return "", fmt.Errorf("hierarchy: unknown label %q", a)
+	}
+	ib, ok := t.byLabel[b]
+	if !ok {
+		return "", fmt.Errorf("hierarchy: unknown label %q", b)
+	}
+	return t.labels[t.lcaID(ia, ib)], nil
+}
+
+// Generalize returns the label of the lowest node covering all the given
+// labels (the range to display when merging cluster values; Appendix A.6's
+// union-of-leaves operation).
+func (t *Tree) Generalize(labels ...string) (string, error) {
+	if len(labels) == 0 {
+		return "", fmt.Errorf("hierarchy: no labels to generalize")
+	}
+	cur, ok := t.byLabel[labels[0]]
+	if !ok {
+		return "", fmt.Errorf("hierarchy: unknown label %q", labels[0])
+	}
+	for _, l := range labels[1:] {
+		id, ok := t.byLabel[l]
+		if !ok {
+			return "", fmt.Errorf("hierarchy: unknown label %q", l)
+		}
+		cur = t.lcaID(cur, id)
+	}
+	return t.labels[cur], nil
+}
+
+// Covers reports whether ancestor's subtree contains label.
+func (t *Tree) Covers(ancestor, label string) (bool, error) {
+	ia, ok := t.byLabel[ancestor]
+	if !ok {
+		return false, fmt.Errorf("hierarchy: unknown label %q", ancestor)
+	}
+	ib, ok := t.byLabel[label]
+	if !ok {
+		return false, fmt.Errorf("hierarchy: unknown label %q", label)
+	}
+	return t.lcaID(ia, ib) == ia, nil
+}
+
+// NumericRanges builds a range hierarchy over the integers [lo, hi): leaves
+// are individual values, and each internal level groups `fanout` children
+// into a "[a, b)" range node, as in the paper's Figure 11 age example.
+func NumericRanges(lo, hi, fanout int) (*Tree, error) {
+	if hi <= lo {
+		return nil, fmt.Errorf("hierarchy: empty range [%d, %d)", lo, hi)
+	}
+	if fanout < 2 {
+		return nil, fmt.Errorf("hierarchy: fanout = %d, want >= 2", fanout)
+	}
+	// Start with leaf nodes for each value.
+	level := make([]*Node, 0, hi-lo)
+	starts := make([]int, 0, hi-lo)
+	ends := make([]int, 0, hi-lo)
+	for v := lo; v < hi; v++ {
+		level = append(level, &Node{Label: fmt.Sprintf("%d", v)})
+		starts = append(starts, v)
+		ends = append(ends, v+1)
+	}
+	for len(level) > 1 {
+		var next []*Node
+		var ns, ne []int
+		for i := 0; i < len(level); i += fanout {
+			j := i + fanout
+			if j > len(level) {
+				j = len(level)
+			}
+			if j-i == 1 && len(next) > 0 {
+				// Fold a trailing singleton into the previous group to avoid
+				// a redundant single-child chain.
+				prev := next[len(next)-1]
+				prev.Children = append(prev.Children, level[i])
+				ne[len(ne)-1] = ends[i]
+				prev.Label = fmt.Sprintf("[%d, %d)", ns[len(ns)-1], ne[len(ne)-1])
+				continue
+			}
+			n := &Node{
+				Label:    fmt.Sprintf("[%d, %d)", starts[i], ends[j-1]),
+				Children: append([]*Node(nil), level[i:j]...),
+			}
+			next = append(next, n)
+			ns = append(ns, starts[i])
+			ne = append(ne, ends[j-1])
+		}
+		level, starts, ends = next, ns, ne
+	}
+	return New(level[0])
+}

@@ -1,0 +1,190 @@
+package hierarchy
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func ageTree(t *testing.T) *Tree {
+	t.Helper()
+	// The paper's Figure 11 example: [0,60) -> [0,20), [20,40), [40,60) ->
+	// decade leaves.
+	root := &Node{Label: "[0, 60)", Children: []*Node{
+		{Label: "[0, 20)", Children: []*Node{{Label: "0s"}, {Label: "10s"}}},
+		{Label: "[20, 40)", Children: []*Node{{Label: "20s"}, {Label: "30s"}}},
+		{Label: "[40, 60)", Children: []*Node{{Label: "40s"}, {Label: "50s"}}},
+	}}
+	tr, err := New(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("nil root accepted")
+	}
+	if _, err := New(&Node{Label: ""}); err == nil {
+		t.Error("empty label accepted")
+	}
+	if _, err := New(&Node{Label: "a", Children: []*Node{{Label: "a"}}}); err == nil {
+		t.Error("duplicate label accepted")
+	}
+}
+
+func TestLCAExamples(t *testing.T) {
+	tr := ageTree(t)
+	cases := []struct{ a, b, want string }{
+		{"20s", "30s", "[20, 40)"},
+		{"20s", "50s", "[0, 60)"},
+		{"0s", "0s", "0s"},
+		{"[20, 40)", "30s", "[20, 40)"},
+		{"[0, 20)", "[40, 60)", "[0, 60)"},
+	}
+	for _, c := range cases {
+		got, err := tr.LCA(c.a, c.b)
+		if err != nil {
+			t.Fatalf("LCA(%s, %s): %v", c.a, c.b, err)
+		}
+		if got != c.want {
+			t.Errorf("LCA(%s, %s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+	if _, err := tr.LCA("20s", "nope"); err == nil {
+		t.Error("unknown label accepted")
+	}
+}
+
+func TestGeneralize(t *testing.T) {
+	tr := ageTree(t)
+	got, err := tr.Generalize("20s", "30s")
+	if err != nil || got != "[20, 40)" {
+		t.Errorf("Generalize = %q, %v", got, err)
+	}
+	got, err = tr.Generalize("0s", "20s", "50s")
+	if err != nil || got != "[0, 60)" {
+		t.Errorf("Generalize three = %q, %v", got, err)
+	}
+	if _, err := tr.Generalize(); err == nil {
+		t.Error("empty generalize accepted")
+	}
+}
+
+func TestCoversAndLeaves(t *testing.T) {
+	tr := ageTree(t)
+	if ok, _ := tr.Covers("[20, 40)", "20s"); !ok {
+		t.Error("range should cover its leaf")
+	}
+	if ok, _ := tr.Covers("[20, 40)", "50s"); ok {
+		t.Error("range covers foreign leaf")
+	}
+	if leaf, _ := tr.IsLeaf("20s"); !leaf {
+		t.Error("20s should be a leaf")
+	}
+	if leaf, _ := tr.IsLeaf("[0, 60)"); leaf {
+		t.Error("root should not be a leaf")
+	}
+	if d, _ := tr.Depth("20s"); d != 2 {
+		t.Errorf("depth = %d", d)
+	}
+	if tr.Root() != "[0, 60)" {
+		t.Errorf("root = %q", tr.Root())
+	}
+	if !tr.Contains("30s") || tr.Contains("70s") {
+		t.Error("Contains wrong")
+	}
+}
+
+// TestLCAMatchesNaive checks binary lifting against parent-walking on random
+// trees.
+func TestLCAMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(60)
+		nodes := make([]*Node, n)
+		parents := make([]int, n)
+		nodes[0] = &Node{Label: "n0"}
+		parents[0] = -1
+		for i := 1; i < n; i++ {
+			nodes[i] = &Node{Label: fmt.Sprintf("n%d", i)}
+			p := rng.Intn(i)
+			parents[i] = p
+			nodes[p].Children = append(nodes[p].Children, nodes[i])
+		}
+		tr, err := New(nodes[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive := func(a, b int) int {
+			seen := map[int]bool{}
+			for x := a; x >= 0; x = parents[x] {
+				seen[x] = true
+			}
+			for y := b; y >= 0; y = parents[y] {
+				if seen[y] {
+					return y
+				}
+			}
+			return 0
+		}
+		for q := 0; q < 50; q++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			got, err := tr.LCA(fmt.Sprintf("n%d", a), fmt.Sprintf("n%d", b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fmt.Sprintf("n%d", naive(a, b))
+			if got != want {
+				t.Fatalf("trial %d: LCA(n%d, n%d) = %s, want %s", trial, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestNumericRanges(t *testing.T) {
+	tr, err := NumericRanges(0, 60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every leaf value must be present and covered by the root.
+	for v := 0; v < 60; v++ {
+		lbl := strconv.Itoa(v)
+		if !tr.Contains(lbl) {
+			t.Fatalf("missing leaf %s", lbl)
+		}
+		if ok, _ := tr.Covers(tr.Root(), lbl); !ok {
+			t.Fatalf("root does not cover %s", lbl)
+		}
+	}
+	// Generalizing a tight pair stays below the root.
+	g, err := tr.Generalize("20", "21")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g == tr.Root() {
+		t.Errorf("generalize(20, 21) jumped to root")
+	}
+	if !strings.HasPrefix(g, "[") {
+		t.Errorf("expected range label, got %q", g)
+	}
+	if _, err := NumericRanges(5, 5, 2); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := NumericRanges(0, 10, 1); err == nil {
+		t.Error("fanout 1 accepted")
+	}
+}
+
+func TestNumericRangesSingleValue(t *testing.T) {
+	tr, err := NumericRanges(7, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 || tr.Root() != "7" {
+		t.Errorf("single-value tree: len=%d root=%q", tr.Len(), tr.Root())
+	}
+}

@@ -1,0 +1,88 @@
+package hierarchy
+
+import "fmt"
+
+// The ID-based API below serves the hierarchical summarization extension
+// (internal/hisummarize), which stores patterns as dense node ids instead of
+// labels. Node ids are assigned in preorder; the root is always id 0.
+
+// IDOf returns the node id of a label.
+func (t *Tree) IDOf(label string) (int, bool) {
+	id, ok := t.byLabel[label]
+	return id, ok
+}
+
+// Label returns the label of a node id. It panics on out-of-range ids.
+func (t *Tree) Label(id int) string { return t.labels[id] }
+
+// RootID returns the id of the root node.
+func (t *Tree) RootID() int { return 0 }
+
+// ParentID returns the parent of id, or -1 for the root.
+func (t *Tree) ParentID(id int) int { return t.parent[id] }
+
+// DepthID returns the depth of id (root = 0).
+func (t *Tree) DepthID(id int) int { return t.depth[id] }
+
+// IsLeafID reports whether id has no children.
+func (t *Tree) IsLeafID(id int) bool { return len(t.children[id]) == 0 }
+
+// LCAIDs returns the lowest common ancestor id of two node ids.
+func (t *Tree) LCAIDs(a, b int) (int, error) {
+	if a < 0 || a >= len(t.labels) || b < 0 || b >= len(t.labels) {
+		return 0, fmt.Errorf("hierarchy: node id out of range (%d, %d)", a, b)
+	}
+	return t.lcaID(a, b), nil
+}
+
+// CoversID reports whether anc is an ancestor of (or equal to) desc.
+func (t *Tree) CoversID(anc, desc int) bool {
+	if anc < 0 || desc < 0 {
+		return false
+	}
+	if t.depth[anc] > t.depth[desc] {
+		return false
+	}
+	return t.lcaID(anc, desc) == anc
+}
+
+// PathToRoot returns the node ids from id up to the root, inclusive, in
+// leaf-to-root order.
+func (t *Tree) PathToRoot(id int) []int {
+	var out []int
+	for v := id; v >= 0; v = t.parent[v] {
+		out = append(out, v)
+	}
+	return out
+}
+
+// MaxDepth returns the maximum node depth in the tree.
+func (t *Tree) MaxDepth() int {
+	max := 0
+	for _, d := range t.depth {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Flat builds the degenerate two-level hierarchy for a categorical
+// attribute: a root labeled rootLabel (conventionally "*") with one leaf per
+// distinct value. It is the hierarchy under which the extension's semantics
+// collapse to the paper's plain *-patterns.
+func Flat(rootLabel string, values []string) (*Tree, error) {
+	root := &Node{Label: rootLabel}
+	seen := map[string]bool{}
+	for _, v := range values {
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		root.Children = append(root.Children, &Node{Label: v})
+	}
+	if len(root.Children) == 0 {
+		return nil, fmt.Errorf("hierarchy: no values for flat hierarchy %q", rootLabel)
+	}
+	return New(root)
+}

@@ -1,0 +1,320 @@
+package hisummarize
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Params are the summarization parameters, as in the base framework.
+type Params struct {
+	K, L, D int
+}
+
+// Validate checks the parameters against an index.
+func (p Params) Validate(ix *Index) error {
+	if p.K < 1 {
+		return fmt.Errorf("hisummarize: k = %d, want >= 1", p.K)
+	}
+	if p.L < 1 || p.L > ix.L {
+		return fmt.Errorf("hisummarize: L = %d out of range [1, %d]", p.L, ix.L)
+	}
+	if p.D < 0 || p.D > ix.Space.M() {
+		return fmt.Errorf("hisummarize: D = %d out of range [0, %d]", p.D, ix.Space.M())
+	}
+	return nil
+}
+
+// Solution is a feasible hierarchical cluster set.
+type Solution struct {
+	Clusters []*Cluster
+	Covered  []int32
+	Sum      float64
+}
+
+// AvgValue is the Max-Avg objective over covered tuples.
+func (s *Solution) AvgValue() float64 {
+	if len(s.Covered) == 0 {
+		return 0
+	}
+	return s.Sum / float64(len(s.Covered))
+}
+
+// Size returns the number of clusters.
+func (s *Solution) Size() int { return len(s.Clusters) }
+
+// Validate checks all feasibility conditions of Definition 4.1 under the
+// hierarchical semantics.
+func Validate(ix *Index, p Params, sol *Solution) error {
+	if err := p.Validate(ix); err != nil {
+		return err
+	}
+	if len(sol.Clusters) == 0 {
+		return fmt.Errorf("hisummarize: empty solution")
+	}
+	if len(sol.Clusters) > p.K {
+		return fmt.Errorf("hisummarize: %d clusters exceed k = %d", len(sol.Clusters), p.K)
+	}
+	covered := make(map[int32]bool)
+	for _, c := range sol.Clusters {
+		for _, t := range c.Cov {
+			covered[t] = true
+		}
+	}
+	for rank := 0; rank < p.L; rank++ {
+		if !covered[int32(rank)] {
+			return fmt.Errorf("hisummarize: rank %d not covered", rank+1)
+		}
+	}
+	for i, a := range sol.Clusters {
+		for _, b := range sol.Clusters[i+1:] {
+			if d := ix.Space.Distance(a.Pat, b.Pat); d < p.D {
+				return fmt.Errorf("hisummarize: clusters %v and %v at distance %d < %d",
+					ix.Space.FormatPattern(a.Pat), ix.Space.FormatPattern(b.Pat), d, p.D)
+			}
+			if ix.Space.Comparable(a.Pat, b.Pat) {
+				return fmt.Errorf("hisummarize: clusters %v and %v comparable",
+					ix.Space.FormatPattern(a.Pat), ix.Space.FormatPattern(b.Pat))
+			}
+		}
+	}
+	return nil
+}
+
+// workset is the greedy working state; unlike the flat implementation it
+// evaluates marginals by direct scans (the hierarchy spaces the appendix
+// targets are small enough that Delta-Judgment is unnecessary).
+type workset struct {
+	ix       *Index
+	clusters map[int32]*Cluster
+	covered  map[int32]bool
+	sum      float64
+	cnt      int
+}
+
+func newWorkset(ix *Index) *workset {
+	return &workset{ix: ix, clusters: map[int32]*Cluster{}, covered: map[int32]bool{}}
+}
+
+func (ws *workset) size() int { return len(ws.clusters) }
+
+func (ws *workset) evalAdd(c *Cluster) float64 {
+	dsum, dcnt := 0.0, 0
+	for _, t := range c.Cov {
+		if !ws.covered[t] {
+			dsum += ws.ix.Space.Vals[t]
+			dcnt++
+		}
+	}
+	if ws.cnt+dcnt == 0 {
+		return 0
+	}
+	return (ws.sum + dsum) / float64(ws.cnt+dcnt)
+}
+
+func (ws *workset) add(c *Cluster) {
+	for id, old := range ws.clusters {
+		if id != c.ID && ws.ix.Space.Covers(c.Pat, old.Pat) {
+			delete(ws.clusters, id)
+		}
+	}
+	ws.clusters[c.ID] = c
+	for _, t := range c.Cov {
+		if !ws.covered[t] {
+			ws.covered[t] = true
+			ws.sum += ws.ix.Space.Vals[t]
+			ws.cnt++
+		}
+	}
+}
+
+func (ws *workset) sortedIDs() []int32 {
+	ids := make([]int32, 0, len(ws.clusters))
+	for id := range ws.clusters {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func (ws *workset) solution() *Solution {
+	sol := &Solution{}
+	for _, id := range ws.sortedIDs() {
+		sol.Clusters = append(sol.Clusters, ws.clusters[id])
+	}
+	seen := map[int32]bool{}
+	for _, c := range sol.Clusters {
+		for _, t := range c.Cov {
+			if !seen[t] {
+				seen[t] = true
+				sol.Covered = append(sol.Covered, t)
+				sol.Sum += ws.ix.Space.Vals[t]
+			}
+		}
+	}
+	sort.Slice(sol.Covered, func(a, b int) bool { return sol.Covered[a] < sol.Covered[b] })
+	sort.SliceStable(sol.Clusters, func(a, b int) bool {
+		return sol.Clusters[a].Avg() > sol.Clusters[b].Avg()
+	})
+	return sol
+}
+
+// bestMerge finds the pair of current clusters (restricted by filter on
+// their distance) whose LCA maximizes the tentative objective.
+func (ws *workset) bestMerge(filter func(d int) bool) (*Cluster, bool, error) {
+	ids := ws.sortedIDs()
+	var best *Cluster
+	bestVal := 0.0
+	for i, a := range ids {
+		ca := ws.clusters[a]
+		for _, b := range ids[i+1:] {
+			cb := ws.clusters[b]
+			if filter != nil && !filter(ws.ix.Space.Distance(ca.Pat, cb.Pat)) {
+				continue
+			}
+			lca, err := ws.ix.LCACluster(ca, cb)
+			if err != nil {
+				return nil, false, err
+			}
+			v := ws.evalAdd(lca)
+			if best == nil || v > bestVal {
+				best = lca
+				bestVal = v
+			}
+		}
+	}
+	return best, best != nil, nil
+}
+
+// phases runs distance enforcement then size reduction (Algorithm 1).
+func (ws *workset) phases(p Params) error {
+	for {
+		lca, ok, err := ws.bestMerge(func(d int) bool { return d < p.D })
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		ws.add(lca)
+	}
+	for ws.size() > p.K {
+		lca, ok, err := ws.bestMerge(nil)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		ws.add(lca)
+	}
+	return nil
+}
+
+// BottomUp is Algorithm 1 over hierarchical patterns.
+func BottomUp(ix *Index, p Params) (*Solution, error) {
+	if err := p.Validate(ix); err != nil {
+		return nil, err
+	}
+	ws := newWorkset(ix)
+	for rank := 0; rank < p.L; rank++ {
+		ws.add(ix.Singleton(rank))
+	}
+	if err := ws.phases(p); err != nil {
+		return nil, err
+	}
+	return ws.solution(), nil
+}
+
+// FixedOrder is Algorithm 3 over hierarchical patterns.
+func FixedOrder(ix *Index, p Params) (*Solution, error) {
+	if err := p.Validate(ix); err != nil {
+		return nil, err
+	}
+	ws := newWorkset(ix)
+	if err := fixedOrderPhase(ws, p); err != nil {
+		return nil, err
+	}
+	return ws.solution(), nil
+}
+
+func fixedOrderPhase(ws *workset, p Params) error {
+	for rank := 0; rank < p.L; rank++ {
+		if ws.covered[int32(rank)] {
+			continue
+		}
+		cand := ws.ix.Singleton(rank)
+		subsumed := false
+		for _, c := range ws.clusters {
+			if ws.ix.Space.Covers(c.Pat, cand.Pat) {
+				subsumed = true
+				break
+			}
+		}
+		if subsumed {
+			continue
+		}
+		if ws.size() < p.K {
+			minDist := ws.ix.Space.M() + 1
+			for _, c := range ws.clusters {
+				if d := ws.ix.Space.Distance(cand.Pat, c.Pat); d < minDist {
+					minDist = d
+				}
+			}
+			if ws.size() == 0 || minDist >= p.D {
+				ws.add(cand)
+				continue
+			}
+			if err := mergeBestPartner(ws, cand, func(d int) bool { return d < p.D }); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := mergeBestPartner(ws, cand, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func mergeBestPartner(ws *workset, cand *Cluster, filter func(d int) bool) error {
+	var best *Cluster
+	bestVal := 0.0
+	for _, id := range ws.sortedIDs() {
+		c := ws.clusters[id]
+		if filter != nil && !filter(ws.ix.Space.Distance(cand.Pat, c.Pat)) {
+			continue
+		}
+		lca, err := ws.ix.LCACluster(c, cand)
+		if err != nil {
+			return err
+		}
+		v := ws.evalAdd(lca)
+		if best == nil || v > bestVal {
+			best = lca
+			bestVal = v
+		}
+	}
+	if best == nil {
+		return fmt.Errorf("hisummarize: no merge partner")
+	}
+	ws.add(best)
+	return nil
+}
+
+// Hybrid runs Fixed-Order with a doubled candidate pool, then the Bottom-Up
+// phases (Section 5.3).
+func Hybrid(ix *Index, p Params) (*Solution, error) {
+	if err := p.Validate(ix); err != nil {
+		return nil, err
+	}
+	ws := newWorkset(ix)
+	pool := p
+	pool.K = 2 * p.K
+	if err := fixedOrderPhase(ws, pool); err != nil {
+		return nil, err
+	}
+	if err := ws.phases(p); err != nil {
+		return nil, err
+	}
+	return ws.solution(), nil
+}

@@ -1,0 +1,117 @@
+package hisummarize
+
+import (
+	"fmt"
+)
+
+// Cluster is a hierarchical pattern with its coverage.
+type Cluster struct {
+	ID  int32
+	Pat Pattern
+	// Cov lists covered tuple indices, ascending.
+	Cov []int32
+	// Sum is the total value of covered tuples.
+	Sum float64
+}
+
+// Size returns |cov(C)|.
+func (c *Cluster) Size() int { return len(c.Cov) }
+
+// Avg returns the average value of covered tuples.
+func (c *Cluster) Avg() float64 {
+	if len(c.Cov) == 0 {
+		return 0
+	}
+	return c.Sum / float64(len(c.Cov))
+}
+
+// Index is the generated hierarchical cluster space for one (S, L): every
+// generalization of a top-L tuple, mapped to the tuples it covers. As in the
+// flat case, the space is closed under LCA.
+type Index struct {
+	Space    *Space
+	L        int
+	Clusters []*Cluster
+
+	byKey     map[string]int32
+	singleton []int32
+}
+
+// BuildIndex generates clusters from the top-L tuples and maps every tuple
+// to the generated clusters it belongs to (the optimized strategy of
+// Section 6.3, generalized to hierarchy root paths).
+func BuildIndex(s *Space, L int) (*Index, error) {
+	if L < 1 || L > s.N() {
+		return nil, fmt.Errorf("hisummarize: L = %d out of range [1, %d]", L, s.N())
+	}
+	ix := &Index{Space: s, L: L, byKey: make(map[string]int32), singleton: make([]int32, L)}
+	for rank := 0; rank < L; rank++ {
+		s.Ancestors(s.Tuples[rank], func(p Pattern) {
+			key := p.Key()
+			if _, ok := ix.byKey[key]; ok {
+				return
+			}
+			id := int32(len(ix.Clusters))
+			ix.byKey[key] = id
+			ix.Clusters = append(ix.Clusters, &Cluster{ID: id, Pat: p.Clone()})
+		})
+		ix.singleton[rank] = ix.byKey[s.Tuples[rank].Key()]
+	}
+	for ti, t := range s.Tuples {
+		val := s.Vals[ti]
+		s.Ancestors(t, func(p Pattern) {
+			if id, ok := ix.byKey[p.Key()]; ok {
+				c := ix.Clusters[id]
+				c.Cov = append(c.Cov, int32(ti))
+				c.Sum += val
+			}
+		})
+	}
+	return ix, nil
+}
+
+// NumClusters returns the generated space size.
+func (ix *Index) NumClusters() int { return len(ix.Clusters) }
+
+// Cluster returns the cluster with the given id.
+func (ix *Index) Cluster(id int32) *Cluster { return ix.Clusters[id] }
+
+// Singleton returns the concrete cluster of the rank-th top tuple.
+func (ix *Index) Singleton(rank int) *Cluster { return ix.Clusters[ix.singleton[rank]] }
+
+// Lookup finds a generated cluster by pattern.
+func (ix *Index) Lookup(p Pattern) (*Cluster, bool) {
+	id, ok := ix.byKey[p.Key()]
+	if !ok {
+		return nil, false
+	}
+	return ix.Clusters[id], true
+}
+
+// Root returns the all-root cluster (the trivial solution).
+func (ix *Index) Root() *Cluster {
+	root := make(Pattern, ix.Space.M())
+	for j := range root {
+		root[j] = int32(ix.Space.Trees[j].RootID())
+	}
+	c, ok := ix.Lookup(root)
+	if !ok {
+		// The root pattern generalizes every tuple and is always generated.
+		panic("hisummarize: root cluster missing")
+	}
+	return c
+}
+
+// LCACluster returns the cluster for the per-attribute LCA of a and b. The
+// generated space is closed under LCA for clusters of this index.
+func (ix *Index) LCACluster(a, b *Cluster) (*Cluster, error) {
+	p, err := ix.Space.LCA(a.Pat, b.Pat)
+	if err != nil {
+		return nil, err
+	}
+	c, ok := ix.Lookup(p)
+	if !ok {
+		return nil, fmt.Errorf("hisummarize: LCA %v not generated (foreign cluster?)", p)
+	}
+	return c, nil
+}

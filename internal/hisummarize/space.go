@@ -1,0 +1,213 @@
+// Package hisummarize implements the concept-hierarchy extension of
+// Appendix A.6 of the paper: cluster summarization where each attribute
+// generalizes along a per-attribute concept hierarchy (for example age
+// ranges) rather than collapsing directly to the don't-care '*'. Patterns
+// hold hierarchy node ids; the '*' of the base framework corresponds to the
+// hierarchy root, and the base framework itself is the special case where
+// every hierarchy is the flat two-level tree (hierarchy.Flat).
+//
+// The package mirrors internal/summarize: a generated cluster space over the
+// top-L answers and the Bottom-Up / Fixed-Order / Hybrid greedy algorithms,
+// with merges taking per-attribute LCAs in the hierarchy (computed in
+// O(log n) per attribute via binary lifting, as the appendix prescribes).
+package hisummarize
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qagview/internal/hierarchy"
+)
+
+// Pattern is one hierarchy node id per attribute.
+type Pattern []int32
+
+// Key packs a pattern into a map key.
+func (p Pattern) Key() string {
+	var sb strings.Builder
+	for _, v := range p {
+		sb.WriteByte(byte(v))
+		sb.WriteByte(byte(v >> 8))
+		sb.WriteByte(byte(v >> 16))
+		sb.WriteByte(byte(v >> 24))
+	}
+	return sb.String()
+}
+
+// Clone copies p.
+func (p Pattern) Clone() Pattern {
+	q := make(Pattern, len(p))
+	copy(q, p)
+	return q
+}
+
+// Space is the answer set with per-attribute hierarchies: tuples hold leaf
+// node ids, sorted by descending value.
+type Space struct {
+	Attrs  []string
+	Trees  []*hierarchy.Tree
+	Tuples []Pattern
+	Vals   []float64
+}
+
+// NewSpace validates rows against the hierarchies and sorts by value.
+// trees[i] may be nil, in which case the flat hierarchy over the attribute's
+// active domain is built automatically (plain '*' semantics).
+func NewSpace(attrs []string, trees []*hierarchy.Tree, rows [][]string, vals []float64) (*Space, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("hisummarize: no attributes")
+	}
+	if trees != nil && len(trees) != len(attrs) {
+		return nil, fmt.Errorf("hisummarize: %d trees for %d attributes", len(trees), len(attrs))
+	}
+	if len(rows) == 0 || len(rows) != len(vals) {
+		return nil, fmt.Errorf("hisummarize: %d rows, %d values", len(rows), len(vals))
+	}
+	m := len(attrs)
+	s := &Space{
+		Attrs: append([]string(nil), attrs...),
+		Trees: make([]*hierarchy.Tree, m),
+	}
+	for j := 0; j < m; j++ {
+		if trees != nil && trees[j] != nil {
+			s.Trees[j] = trees[j]
+			continue
+		}
+		vals := make([]string, 0, len(rows))
+		for _, r := range rows {
+			if len(r) != m {
+				return nil, fmt.Errorf("hisummarize: ragged row with %d attributes, want %d", len(r), m)
+			}
+			vals = append(vals, r[j])
+		}
+		t, err := hierarchy.Flat("*", vals)
+		if err != nil {
+			return nil, fmt.Errorf("hisummarize: attribute %q: %w", attrs[j], err)
+		}
+		s.Trees[j] = t
+	}
+
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+	s.Tuples = make([]Pattern, len(rows))
+	s.Vals = make([]float64, len(rows))
+	for out, in := range idx {
+		row := rows[in]
+		if len(row) != m {
+			return nil, fmt.Errorf("hisummarize: ragged row with %d attributes, want %d", len(row), m)
+		}
+		t := make(Pattern, m)
+		for j := 0; j < m; j++ {
+			id, ok := s.Trees[j].IDOf(row[j])
+			if !ok {
+				return nil, fmt.Errorf("hisummarize: value %q is not in the hierarchy of %q", row[j], attrs[j])
+			}
+			if !s.Trees[j].IsLeafID(id) {
+				return nil, fmt.Errorf("hisummarize: value %q of %q is an internal hierarchy node", row[j], attrs[j])
+			}
+			t[j] = int32(id)
+		}
+		s.Tuples[out] = t
+		s.Vals[out] = vals[in]
+	}
+	return s, nil
+}
+
+// N returns the number of answer tuples.
+func (s *Space) N() int { return len(s.Tuples) }
+
+// M returns the number of attributes.
+func (s *Space) M() int { return len(s.Attrs) }
+
+// Render maps a pattern to its hierarchy labels (ranges for internal nodes).
+func (s *Space) Render(p Pattern) []string {
+	out := make([]string, len(p))
+	for j, v := range p {
+		out[j] = s.Trees[j].Label(int(v))
+	}
+	return out
+}
+
+// FormatPattern renders a pattern as "(1980, [20, 40), M, *)".
+func (s *Space) FormatPattern(p Pattern) string {
+	return "(" + strings.Join(s.Render(p), ", ") + ")"
+}
+
+// Covers reports whether p covers q: every attribute of p is an ancestor of
+// (or equal to) the corresponding attribute of q.
+func (s *Space) Covers(p, q Pattern) bool {
+	for j := range p {
+		if !s.Trees[j].CoversID(int(p[j]), int(q[j])) {
+			return false
+		}
+	}
+	return true
+}
+
+// Comparable reports whether p and q are ordered in the generalization
+// semilattice.
+func (s *Space) Comparable(p, q Pattern) bool {
+	return s.Covers(p, q) || s.Covers(q, p)
+}
+
+// Distance extends Definition 3.1 to hierarchies: an attribute contributes
+// to the distance unless both patterns pin the exact same leaf value.
+// (A shared internal node still admits differing members, just as '*' does,
+// so it cannot certify agreement; the distance remains the maximum possible
+// member distance.)
+func (s *Space) Distance(p, q Pattern) int {
+	d := 0
+	for j := range p {
+		if p[j] != q[j] || !s.Trees[j].IsLeafID(int(p[j])) {
+			d++
+		}
+	}
+	return d
+}
+
+// LCA returns the per-attribute lowest common ancestor pattern: the most
+// specific generalization covering both inputs.
+func (s *Space) LCA(p, q Pattern) (Pattern, error) {
+	out := make(Pattern, len(p))
+	for j := range p {
+		id, err := s.Trees[j].LCAIDs(int(p[j]), int(q[j]))
+		if err != nil {
+			return nil, err
+		}
+		out[j] = int32(id)
+	}
+	return out, nil
+}
+
+// Ancestors enumerates every generalization of a concrete tuple: the product
+// of the per-attribute root paths. The callback pattern is scratch space,
+// valid only during the call.
+func (s *Space) Ancestors(t Pattern, fn func(Pattern)) {
+	m := len(t)
+	paths := make([][]int, m)
+	total := 1
+	for j := 0; j < m; j++ {
+		paths[j] = s.Trees[j].PathToRoot(int(t[j]))
+		total *= len(paths[j])
+		if total > 4<<20 {
+			panic("hisummarize: ancestor product too large; reduce hierarchy depth or m")
+		}
+	}
+	scratch := make(Pattern, m)
+	var rec func(j int)
+	rec = func(j int) {
+		if j == m {
+			fn(scratch)
+			return
+		}
+		for _, id := range paths[j] {
+			scratch[j] = int32(id)
+			rec(j + 1)
+		}
+	}
+	rec(0)
+}

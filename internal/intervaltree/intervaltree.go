@@ -1,0 +1,125 @@
+// Package intervaltree implements a static centered interval tree with
+// stabbing queries. The precomputation layer (Section 6.2 of the paper)
+// stores, for each cluster, the contiguous range of k values for which the
+// cluster belongs to the solution — a consequence of the continuity property
+// (Proposition 6.1) — and retrieves the solution for a requested k with one
+// stabbing query in O(log n + answer) time.
+package intervaltree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Interval is a closed integer interval [Lo, Hi] with an opaque payload.
+type Interval struct {
+	Lo, Hi  int
+	Payload int32
+}
+
+// Tree is an immutable centered interval tree.
+type Tree struct {
+	root *node
+	n    int
+}
+
+type node struct {
+	center      int
+	byLo        []Interval // intervals containing center, ascending Lo
+	byHi        []Interval // same intervals, descending Hi
+	left, right *node
+}
+
+// Build constructs a tree from the given intervals. Intervals with Lo > Hi
+// are rejected.
+func Build(intervals []Interval) (*Tree, error) {
+	for _, iv := range intervals {
+		if iv.Lo > iv.Hi {
+			return nil, fmt.Errorf("intervaltree: invalid interval [%d, %d]", iv.Lo, iv.Hi)
+		}
+	}
+	ivs := append([]Interval(nil), intervals...)
+	return &Tree{root: build(ivs), n: len(ivs)}, nil
+}
+
+func build(ivs []Interval) *node {
+	if len(ivs) == 0 {
+		return nil
+	}
+	// Center on the median endpoint for balance.
+	endpoints := make([]int, 0, 2*len(ivs))
+	for _, iv := range ivs {
+		endpoints = append(endpoints, iv.Lo, iv.Hi)
+	}
+	sort.Ints(endpoints)
+	center := endpoints[len(endpoints)/2]
+
+	var here, left, right []Interval
+	for _, iv := range ivs {
+		switch {
+		case iv.Hi < center:
+			left = append(left, iv)
+		case iv.Lo > center:
+			right = append(right, iv)
+		default:
+			here = append(here, iv)
+		}
+	}
+	n := &node{center: center}
+	n.byLo = append([]Interval(nil), here...)
+	sort.SliceStable(n.byLo, func(i, j int) bool { return n.byLo[i].Lo < n.byLo[j].Lo })
+	n.byHi = append([]Interval(nil), here...)
+	sort.SliceStable(n.byHi, func(i, j int) bool { return n.byHi[i].Hi > n.byHi[j].Hi })
+	n.left = build(left)
+	n.right = build(right)
+	return n
+}
+
+// Len returns the number of stored intervals.
+func (t *Tree) Len() int { return t.n }
+
+// Stab invokes fn for every interval containing x. Order is unspecified.
+func (t *Tree) Stab(x int, fn func(Interval)) {
+	for n := t.root; n != nil; {
+		switch {
+		case x < n.center:
+			for _, iv := range n.byLo {
+				if iv.Lo > x {
+					break
+				}
+				fn(iv)
+			}
+			n = n.left
+		case x > n.center:
+			for _, iv := range n.byHi {
+				if iv.Hi < x {
+					break
+				}
+				fn(iv)
+			}
+			n = n.right
+		default:
+			for _, iv := range n.byLo {
+				fn(iv)
+			}
+			return
+		}
+	}
+}
+
+// StabAll returns all intervals containing x, sorted by (Lo, Hi, Payload)
+// for determinism.
+func (t *Tree) StabAll(x int) []Interval {
+	var out []Interval
+	t.Stab(x, func(iv Interval) { out = append(out, iv) })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Lo != out[j].Lo {
+			return out[i].Lo < out[j].Lo
+		}
+		if out[i].Hi != out[j].Hi {
+			return out[i].Hi < out[j].Hi
+		}
+		return out[i].Payload < out[j].Payload
+	})
+	return out
+}

@@ -1,0 +1,146 @@
+package intervaltree
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildRejectsInverted(t *testing.T) {
+	if _, err := Build([]Interval{{Lo: 3, Hi: 1}}); err == nil {
+		t.Error("inverted interval accepted")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr, err := Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if got := tr.StabAll(5); len(got) != 0 {
+		t.Errorf("StabAll on empty = %v", got)
+	}
+}
+
+func TestStabSmall(t *testing.T) {
+	tr, err := Build([]Interval{
+		{1, 5, 10},
+		{3, 8, 20},
+		{6, 9, 30},
+		{2, 2, 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		x    int
+		want []int32
+	}{
+		{0, nil},
+		{1, []int32{10}},
+		{2, []int32{10, 40}},
+		{4, []int32{10, 20}},
+		{5, []int32{10, 20}},
+		{6, []int32{20, 30}},
+		{9, []int32{30}},
+		{10, nil},
+	}
+	for _, c := range cases {
+		var got []int32
+		for _, iv := range tr.StabAll(c.x) {
+			got = append(got, iv.Payload)
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Stab(%d) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+// TestStabMatchesNaive is a differential property test against a linear scan.
+func TestStabMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		ivs := make([]Interval, n)
+		for i := range ivs {
+			lo := rng.Intn(100)
+			hi := lo + rng.Intn(30)
+			ivs[i] = Interval{Lo: lo, Hi: hi, Payload: int32(i)}
+		}
+		tr, err := Build(ivs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != n {
+			t.Fatalf("Len = %d, want %d", tr.Len(), n)
+		}
+		for x := -5; x < 140; x += 3 {
+			var want []int32
+			for _, iv := range ivs {
+				if iv.Lo <= x && x <= iv.Hi {
+					want = append(want, iv.Payload)
+				}
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			var got []int32
+			for _, iv := range tr.StabAll(x) {
+				got = append(got, iv.Payload)
+			}
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d Stab(%d) = %v, want %v", trial, x, got, want)
+			}
+		}
+	}
+}
+
+func TestStabQuickProperty(t *testing.T) {
+	// Property: every stored interval is found when stabbing its midpoint.
+	f := func(raw []uint16) bool {
+		ivs := make([]Interval, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			lo := int(raw[i] % 1000)
+			hi := lo + int(raw[i+1]%50)
+			ivs = append(ivs, Interval{Lo: lo, Hi: hi, Payload: int32(i)})
+		}
+		tr, err := Build(ivs)
+		if err != nil {
+			return false
+		}
+		for _, iv := range ivs {
+			mid := (iv.Lo + iv.Hi) / 2
+			found := false
+			tr.Stab(mid, func(got Interval) {
+				if got.Payload == iv.Payload {
+					found = true
+				}
+			})
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildDoesNotAliasInput(t *testing.T) {
+	in := []Interval{{1, 2, 3}}
+	tr, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in[0] = Interval{9, 9, 9}
+	got := tr.StabAll(1)
+	if len(got) != 1 || got[0].Payload != 3 {
+		t.Errorf("tree aliased caller slice: %v", got)
+	}
+}

@@ -1,0 +1,129 @@
+// Package kmodes implements k-modes clustering: the k-means analogue for
+// categorical data, using Hamming distance and per-attribute majority modes.
+// It is the clustering substrate for the k-means-Fixed-Order variant of
+// Section 5.2 of the paper (which runs "the k-means clustering algorithm
+// (with random seeding) on the top L elements" of a categorical space).
+package kmodes
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Result is a clustering of the input tuples.
+type Result struct {
+	// Assign maps each tuple index to its cluster id in [0, K).
+	Assign []int
+	// Modes holds the final cluster modes.
+	Modes [][]int32
+	// Iterations is the number of assignment rounds performed.
+	Iterations int
+}
+
+// Members returns the tuple indices of each cluster, in input order.
+func (r *Result) Members() [][]int {
+	out := make([][]int, len(r.Modes))
+	for i, c := range r.Assign {
+		out[c] = append(out[c], i)
+	}
+	return out
+}
+
+// hamming counts differing attributes.
+func hamming(a, b []int32) int {
+	d := 0
+	for i, v := range a {
+		if v != b[i] {
+			d++
+		}
+	}
+	return d
+}
+
+// Cluster partitions tuples into at most k clusters with random seeding from
+// rng, iterating assignment and mode updates until convergence or maxIter
+// rounds. Empty clusters keep their previous modes. Ties in assignment go to
+// the lowest cluster id and ties in mode selection to the smallest value id,
+// so results are deterministic given rng.
+func Cluster(tuples [][]int32, k int, rng *rand.Rand, maxIter int) (*Result, error) {
+	n := len(tuples)
+	if n == 0 {
+		return nil, fmt.Errorf("kmodes: no tuples")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("kmodes: k = %d, want >= 1", k)
+	}
+	if maxIter < 1 {
+		maxIter = 1
+	}
+	m := len(tuples[0])
+	for i, t := range tuples {
+		if len(t) != m {
+			return nil, fmt.Errorf("kmodes: tuple %d has %d attributes, want %d", i, len(t), m)
+		}
+	}
+	if k > n {
+		k = n
+	}
+	// Random seeding: k distinct tuple indices.
+	perm := rng.Perm(n)[:k]
+	modes := make([][]int32, k)
+	for i, ti := range perm {
+		modes[i] = append([]int32(nil), tuples[ti]...)
+	}
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	res := &Result{Assign: assign, Modes: modes}
+	for iter := 0; iter < maxIter; iter++ {
+		res.Iterations = iter + 1
+		changed := false
+		for i, t := range tuples {
+			best, bestD := 0, hamming(t, modes[0])
+			for c := 1; c < k; c++ {
+				if d := hamming(t, modes[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		// Mode update: per-attribute majority among members.
+		for c := 0; c < k; c++ {
+			counts := make([]map[int32]int, m)
+			for j := range counts {
+				counts[j] = make(map[int32]int)
+			}
+			size := 0
+			for i, a := range assign {
+				if a != c {
+					continue
+				}
+				size++
+				for j, v := range tuples[i] {
+					counts[j][v]++
+				}
+			}
+			if size == 0 {
+				continue // keep previous mode
+			}
+			for j := 0; j < m; j++ {
+				var bestV int32
+				bestN := -1
+				for v, cnt := range counts[j] {
+					if cnt > bestN || (cnt == bestN && v < bestV) {
+						bestV, bestN = v, cnt
+					}
+				}
+				modes[c][j] = bestV
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,117 @@
+package kmodes
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestClusterValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Cluster(nil, 2, rng, 10); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Cluster([][]int32{{1}}, 0, rng, 10); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Cluster([][]int32{{1, 2}, {1}}, 1, rng, 10); err == nil {
+		t.Error("ragged tuples accepted")
+	}
+}
+
+func TestClusterRecoversPlantedGroups(t *testing.T) {
+	// Two well-separated planted modes: (0,0,0,0) cloud and (5,5,5,5) cloud.
+	rng := rand.New(rand.NewSource(2))
+	var tuples [][]int32
+	var truth []int
+	for i := 0; i < 60; i++ {
+		base := int32(0)
+		g := 0
+		if i%2 == 1 {
+			base = 5
+			g = 1
+		}
+		tup := []int32{base, base, base, base}
+		// One noisy attribute.
+		tup[rng.Intn(4)] = base + int32(rng.Intn(2))
+		tuples = append(tuples, tup)
+		truth = append(truth, g)
+	}
+	res, err := Cluster(tuples, 2, rng, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All tuples of the same planted group must land together.
+	for g := 0; g < 2; g++ {
+		first := -1
+		for i, tg := range truth {
+			if tg != g {
+				continue
+			}
+			if first == -1 {
+				first = res.Assign[i]
+			} else if res.Assign[i] != first {
+				t.Fatalf("planted group %d split across clusters", g)
+			}
+		}
+	}
+	if res.Iterations < 1 {
+		t.Error("no iterations recorded")
+	}
+}
+
+func TestClusterKGreaterThanN(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tuples := [][]int32{{1, 2}, {3, 4}}
+	res, err := Cluster(tuples, 10, rng, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Modes) != 2 {
+		t.Errorf("modes = %d, want clamped to n=2", len(res.Modes))
+	}
+}
+
+func TestMembersPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tuples := make([][]int32, 30)
+	for i := range tuples {
+		tuples[i] = []int32{int32(rng.Intn(3)), int32(rng.Intn(3))}
+	}
+	res, err := Cluster(tuples, 4, rng, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, members := range res.Members() {
+		for _, i := range members {
+			if seen[i] {
+				t.Fatalf("tuple %d in two clusters", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != len(tuples) {
+		t.Errorf("partition covers %d of %d", len(seen), len(tuples))
+	}
+}
+
+func TestDeterministicGivenRand(t *testing.T) {
+	tuples := make([][]int32, 40)
+	base := rand.New(rand.NewSource(5))
+	for i := range tuples {
+		tuples[i] = []int32{int32(base.Intn(4)), int32(base.Intn(4)), int32(base.Intn(4))}
+	}
+	a, err := Cluster(tuples, 3, rand.New(rand.NewSource(9)), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cluster(tuples, 3, rand.New(rand.NewSource(9)), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed, different clustering")
+		}
+	}
+}

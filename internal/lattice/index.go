@@ -1,0 +1,191 @@
+package lattice
+
+import (
+	"fmt"
+
+	"qagview/internal/pattern"
+)
+
+// Cluster is a pattern together with the answer tuples it covers and their
+// value sum. Clusters are owned by an Index and identified by dense ids.
+type Cluster struct {
+	// ID is the cluster's position in Index.Clusters.
+	ID int32
+	// Pat is the cluster pattern.
+	Pat pattern.Pattern
+	// Cov lists covered tuple indices into Space.Tuples, ascending.
+	Cov []int32
+	// Sum is the total value of covered tuples.
+	Sum float64
+}
+
+// Size returns |cov(C)|.
+func (c *Cluster) Size() int { return len(c.Cov) }
+
+// Avg returns the average value of the covered tuples (Section 4.1).
+func (c *Cluster) Avg() float64 {
+	if len(c.Cov) == 0 {
+		return 0
+	}
+	return c.Sum / float64(len(c.Cov))
+}
+
+// Index is the materialized cluster space for one (S, L) pair: every pattern
+// that generalizes at least one top-L tuple, mapped to the tuples it covers.
+// All clusters any feasible solution can use come from this set, because a
+// useful cluster must cover a top-L tuple or improve the average, and the
+// paper's algorithms (like its prototype) draw candidates from exactly this
+// generated space.
+type Index struct {
+	// Space is the underlying answer space.
+	Space *Space
+	// L is the coverage parameter the index was built for.
+	L int
+	// Clusters lists all generated clusters; Clusters[i].ID == i.
+	Clusters []*Cluster
+
+	byKey     map[string]int32
+	singleton []int32 // rank -> cluster id of the concrete pattern, for ranks < L
+	allStar   int32
+}
+
+// BuildStats reports the work done while building an index, for the
+// Figure 8a ablation and initialization-time experiments.
+type BuildStats struct {
+	// Generated is the number of distinct clusters generated.
+	Generated int
+	// MappingOps counts tuple→cluster probe operations performed.
+	MappingOps int
+}
+
+// BuildIndex builds the cluster space for the top-L tuples of s using the
+// optimized strategy of Section 6.3: clusters are generated only from top-L
+// tuples (so every cluster covers at least one top-L tuple), and the
+// cluster→tuple mapping is computed by probing each tuple's generalizations
+// against the generated set, instead of scanning all tuples per cluster.
+func BuildIndex(s *Space, L int) (*Index, error) {
+	ix, _, err := buildIndex(s, L, true)
+	return ix, err
+}
+
+// BuildIndexNaive builds the same index without the mapping optimization:
+// after cluster generation, each cluster scans every tuple for coverage.
+// It exists to reproduce the Figure 8a ablation; results are identical to
+// BuildIndex.
+func BuildIndexNaive(s *Space, L int) (*Index, error) {
+	ix, _, err := buildIndex(s, L, false)
+	return ix, err
+}
+
+// BuildIndexStats is BuildIndex returning work counters.
+func BuildIndexStats(s *Space, L int, optimized bool) (*Index, BuildStats, error) {
+	return buildIndex(s, L, optimized)
+}
+
+func buildIndex(s *Space, L int, optimized bool) (*Index, BuildStats, error) {
+	var stats BuildStats
+	if L < 1 || L > s.N() {
+		return nil, stats, fmt.Errorf("lattice: L = %d out of range [1, %d]", L, s.N())
+	}
+	if s.M() > 16 {
+		return nil, stats, fmt.Errorf("lattice: %d grouping attributes exceed the supported maximum of 16", s.M())
+	}
+	ix := &Index{
+		Space:     s,
+		L:         L,
+		byKey:     make(map[string]int32),
+		singleton: make([]int32, L),
+		allStar:   -1,
+	}
+	// Phase 1: generate clusters from each top-L tuple.
+	scratch := make([]byte, 0, 4*s.M())
+	for rank := 0; rank < L; rank++ {
+		t := s.Tuples[rank]
+		pattern.Ancestors(t, func(p pattern.Pattern) {
+			scratch = p.AppendKey(scratch[:0])
+			if _, ok := ix.byKey[string(scratch)]; ok {
+				return
+			}
+			id := int32(len(ix.Clusters))
+			ix.byKey[string(scratch)] = id
+			ix.Clusters = append(ix.Clusters, &Cluster{ID: id, Pat: p.Clone()})
+		})
+	}
+	stats.Generated = len(ix.Clusters)
+	for rank := 0; rank < L; rank++ {
+		// The concrete pattern of each top-L tuple was generated above.
+		key := s.Tuples[rank].Key()
+		ix.singleton[rank] = ix.byKey[key]
+	}
+	allStar := make(pattern.Pattern, s.M())
+	for i := range allStar {
+		allStar[i] = pattern.Star
+	}
+	ix.allStar = ix.byKey[allStar.Key()]
+
+	// Phase 2: map tuples to clusters.
+	if optimized {
+		for ti, t := range s.Tuples {
+			ti32 := int32(ti)
+			val := s.Vals[ti]
+			pattern.Ancestors(t, func(p pattern.Pattern) {
+				stats.MappingOps++
+				scratch = p.AppendKey(scratch[:0])
+				if id, ok := ix.byKey[string(scratch)]; ok {
+					c := ix.Clusters[id]
+					c.Cov = append(c.Cov, ti32)
+					c.Sum += val
+				}
+			})
+		}
+	} else {
+		for _, c := range ix.Clusters {
+			for ti, t := range s.Tuples {
+				stats.MappingOps++
+				if c.Pat.CoversTuple(t) {
+					c.Cov = append(c.Cov, int32(ti))
+					c.Sum += s.Vals[ti]
+				}
+			}
+		}
+	}
+	return ix, stats, nil
+}
+
+// NumClusters returns the size of the generated cluster space.
+func (ix *Index) NumClusters() int { return len(ix.Clusters) }
+
+// Cluster returns the cluster with the given id.
+func (ix *Index) Cluster(id int32) *Cluster { return ix.Clusters[id] }
+
+// Lookup finds the cluster for a pattern, if it was generated.
+func (ix *Index) Lookup(p pattern.Pattern) (*Cluster, bool) {
+	id, ok := ix.byKey[p.Key()]
+	if !ok {
+		return nil, false
+	}
+	return ix.Clusters[id], true
+}
+
+// Singleton returns the singleton cluster of the rank-th top tuple
+// (0-based). It panics if rank >= L.
+func (ix *Index) Singleton(rank int) *Cluster {
+	return ix.Clusters[ix.singleton[rank]]
+}
+
+// AllStar returns the trivial cluster (*, ..., *) covering every tuple; it is
+// the paper's Lower Bound baseline solution.
+func (ix *Index) AllStar() *Cluster { return ix.Clusters[ix.allStar] }
+
+// LCACluster returns the cluster for LCA(a.Pat, b.Pat). The generated space
+// is closed under LCA (the LCA of two ancestors of top-L tuples is itself an
+// ancestor of a top-L tuple), so the lookup always succeeds for clusters
+// from this index; an error indicates a cluster from a different index.
+func (ix *Index) LCACluster(a, b *Cluster) (*Cluster, error) {
+	l := pattern.LCA(a.Pat, b.Pat)
+	c, ok := ix.Lookup(l)
+	if !ok {
+		return nil, fmt.Errorf("lattice: LCA %v of clusters %d and %d not in index (foreign cluster?)", l, a.ID, b.ID)
+	}
+	return c, nil
+}

@@ -1,0 +1,91 @@
+// Package matching implements the Hungarian algorithm for minimum-cost
+// perfect matching in a complete bipartite graph, in O(n^3). It is the
+// substrate for the optimal cluster-placement problem of Appendix A.7 of the
+// paper, which reduces placement of the new solution's clusters to a
+// min-cost perfect matching between clusters and display positions.
+package matching
+
+import (
+	"fmt"
+	"math"
+)
+
+// MinCost solves the assignment problem for the square cost matrix: it
+// returns assignment (assignment[i] = column assigned to row i) and the
+// total cost. The implementation is the standard potentials-based Hungarian
+// algorithm (Kuhn-Munkres).
+func MinCost(cost [][]float64) ([]int, float64, error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	for i, row := range cost {
+		if len(row) != n {
+			return nil, 0, fmt.Errorf("matching: row %d has %d entries, want %d (square matrix required)", i, len(row), n)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, 0, fmt.Errorf("matching: cost[%d][%d] = %v is not finite", i, j, v)
+			}
+		}
+	}
+	const inf = math.MaxFloat64
+	// 1-based arrays per the classic formulation; index 0 is a sentinel.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1)   // p[j] = row matched to column j
+	way := make([]int, n+1) // way[j] = previous column on the alternating path
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	assignment := make([]int, n)
+	total := 0.0
+	for j := 1; j <= n; j++ {
+		assignment[p[j]-1] = j - 1
+		total += cost[p[j]-1][j-1]
+	}
+	return assignment, total, nil
+}

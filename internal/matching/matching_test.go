@@ -1,0 +1,125 @@
+package matching
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func bruteForce(cost [][]float64) ([]int, float64) {
+	n := len(cost)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := make([]int, n)
+	bestCost := math.Inf(1)
+	var rec func(i int, used []bool, cur []int, sum float64)
+	rec = func(i int, used []bool, cur []int, sum float64) {
+		if i == n {
+			if sum < bestCost {
+				bestCost = sum
+				copy(best, cur)
+			}
+			return
+		}
+		for j := 0; j < n; j++ {
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			cur[i] = j
+			rec(i+1, used, cur, sum+cost[i][j])
+			used[j] = false
+		}
+	}
+	rec(0, make([]bool, n), make([]int, n), 0)
+	return best, bestCost
+}
+
+func TestMinCostSmallKnown(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assign, total, err := MinCost(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 5 { // 1 + 2 + 2
+		t.Errorf("total = %v, want 5 (assignment %v)", total, assign)
+	}
+}
+
+func TestMinCostEmptyAndSingle(t *testing.T) {
+	if a, c, err := MinCost(nil); err != nil || len(a) != 0 || c != 0 {
+		t.Errorf("empty: %v %v %v", a, c, err)
+	}
+	a, c, err := MinCost([][]float64{{7}})
+	if err != nil || len(a) != 1 || a[0] != 0 || c != 7 {
+		t.Errorf("single: %v %v %v", a, c, err)
+	}
+}
+
+func TestMinCostRejectsBadInput(t *testing.T) {
+	if _, _, err := MinCost([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, _, err := MinCost([][]float64{{math.NaN()}}); err == nil {
+		t.Error("NaN accepted")
+	}
+	if _, _, err := MinCost([][]float64{{math.Inf(1)}}); err == nil {
+		t.Error("Inf accepted")
+	}
+}
+
+// TestMinCostMatchesBruteForce is the differential correctness test.
+func TestMinCostMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = math.Round(rng.Float64()*100) / 4
+			}
+		}
+		assign, total, err := MinCost(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// assignment must be a permutation.
+		seen := make([]bool, n)
+		sum := 0.0
+		for i, j := range assign {
+			if seen[j] {
+				t.Fatalf("trial %d: column %d assigned twice", trial, j)
+			}
+			seen[j] = true
+			sum += cost[i][j]
+		}
+		if math.Abs(sum-total) > 1e-9 {
+			t.Fatalf("trial %d: reported total %v != recomputed %v", trial, total, sum)
+		}
+		_, want := bruteForce(cost)
+		if math.Abs(total-want) > 1e-9 {
+			t.Fatalf("trial %d: hungarian %v != brute force %v", trial, total, want)
+		}
+	}
+}
+
+func TestMinCostNegativeCosts(t *testing.T) {
+	cost := [][]float64{
+		{-5, 2},
+		{3, -4},
+	}
+	_, total, err := MinCost(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != -9 {
+		t.Errorf("total = %v, want -9", total)
+	}
+}

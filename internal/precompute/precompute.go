@@ -1,0 +1,228 @@
+// Package precompute implements the interactive parameter-selection support
+// of Section 6 of the paper: one shared Fixed-Order phase per L, a Bottom-Up
+// replay per distance constraint D that records the solution for every k in
+// a range, interval-tree storage exploiting the continuity property
+// (Proposition 6.1), O(log Nk) retrieval of the solution for any (k, D), and
+// the guidance series behind the Figure 2 visualization.
+package precompute
+
+import (
+	"fmt"
+	"sort"
+
+	"qagview/internal/intervaltree"
+	"qagview/internal/lattice"
+	"qagview/internal/summarize"
+)
+
+// Store holds precomputed solutions for all (k, D) in KMin..KMax x Ds, for
+// one coverage parameter L.
+type Store struct {
+	ix         *lattice.Index
+	L          int
+	KMin, KMax int
+	Ds         []int
+	perD       map[int]*dEntry
+}
+
+type dEntry struct {
+	tree *intervaltree.Tree
+	// ivs is the raw interval list behind tree, kept for serialization.
+	ivs []intervaltree.Interval
+	// avg[k-KMin] is the objective value of the solution for k.
+	avg []float64
+	// minSize is the smallest solution size reached for this D.
+	minSize int
+}
+
+// Run executes the precomputation: the shared Fixed-Order phase sized for
+// kMax, then one Bottom-Up replay per D in ds, converting each replay's
+// states into per-cluster k-intervals stored in an interval tree.
+func Run(ix *lattice.Index, L, kMin, kMax int, ds []int, opts ...summarize.Option) (*Store, error) {
+	if kMin < 1 || kMin > kMax {
+		return nil, fmt.Errorf("precompute: bad k range [%d, %d]", kMin, kMax)
+	}
+	if len(ds) == 0 {
+		return nil, fmt.Errorf("precompute: no D values")
+	}
+	sw, err := summarize.NewSweeper(ix, L, kMax, opts...)
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{
+		ix: ix, L: L, KMin: kMin, KMax: kMax,
+		Ds:   append([]int(nil), ds...),
+		perD: make(map[int]*dEntry, len(ds)),
+	}
+	sort.Ints(st.Ds)
+	for _, d := range st.Ds {
+		if _, dup := st.perD[d]; dup {
+			return nil, fmt.Errorf("precompute: duplicate D = %d", d)
+		}
+		states, err := sw.RunD(d, kMin)
+		if err != nil {
+			return nil, err
+		}
+		entry, err := buildEntry(states, kMin, kMax)
+		if err != nil {
+			return nil, err
+		}
+		st.perD[d] = entry
+	}
+	return st, nil
+}
+
+// buildEntry converts a per-D sweep trace into interval storage. State i is
+// the solution for every k in [Size_i, Size_{i-1}-1] (state 0 extends to
+// kMax); per the continuity property each cluster's active ks form one
+// interval.
+func buildEntry(states *summarize.SweepStates, kMin, kMax int) (*dEntry, error) {
+	if len(states.States) == 0 {
+		return nil, fmt.Errorf("precompute: empty sweep trace")
+	}
+	type span struct{ lo, hi int }
+	spans := map[int32]span{}
+	avg := make([]float64, kMax-kMin+1)
+	minSize := states.States[len(states.States)-1].Size
+
+	hi := kMax
+	for i := range states.States {
+		stt := &states.States[i]
+		lo := stt.Size
+		if lo > hi {
+			// This state is never the answer for any k in range (its size
+			// exceeds the remaining k budget).
+			continue
+		}
+		cl, ch := lo, hi
+		if cl < kMin {
+			cl = kMin
+		}
+		if ch > kMax {
+			ch = kMax
+		}
+		if cl <= ch {
+			for k := cl; k <= ch; k++ {
+				avg[k-kMin] = stt.Avg()
+			}
+			for _, id := range stt.Clusters {
+				if sp, ok := spans[id]; ok {
+					// States are processed in descending k order, so a
+					// cluster's next range must extend its span downward.
+					if ch != sp.lo-1 {
+						return nil, fmt.Errorf("precompute: continuity violated for cluster %d", id)
+					}
+					sp.lo = cl
+					spans[id] = sp
+				} else {
+					spans[id] = span{cl, ch}
+				}
+			}
+		}
+		hi = lo - 1
+		if hi < kMin {
+			break
+		}
+	}
+	ivs := make([]intervaltree.Interval, 0, len(spans))
+	for id, sp := range spans {
+		ivs = append(ivs, intervaltree.Interval{Lo: sp.lo, Hi: sp.hi, Payload: id})
+	}
+	sort.Slice(ivs, func(a, b int) bool { return ivs[a].Payload < ivs[b].Payload })
+	tree, err := intervaltree.Build(ivs)
+	if err != nil {
+		return nil, err
+	}
+	return &dEntry{tree: tree, ivs: ivs, avg: avg, minSize: minSize}, nil
+}
+
+// Solution retrieves the precomputed solution for (k, D) with one stabbing
+// query, reconstructing the covered set from the cluster coverage lists.
+func (s *Store) Solution(k, d int) (*summarize.Solution, error) {
+	entry, ok := s.perD[d]
+	if !ok {
+		return nil, fmt.Errorf("precompute: D = %d was not precomputed (have %v)", d, s.Ds)
+	}
+	if k < s.KMin || k > s.KMax {
+		return nil, fmt.Errorf("precompute: k = %d outside precomputed range [%d, %d]", k, s.KMin, s.KMax)
+	}
+	ivs := entry.tree.StabAll(k)
+	if len(ivs) == 0 {
+		return nil, fmt.Errorf("precompute: no solution stored for k = %d, D = %d", k, d)
+	}
+	sol := &summarize.Solution{}
+	seen := make(map[int32]bool)
+	for _, iv := range ivs {
+		c := s.ix.Cluster(iv.Payload)
+		sol.Clusters = append(sol.Clusters, c)
+		for _, t := range c.Cov {
+			if !seen[t] {
+				seen[t] = true
+				sol.Covered = append(sol.Covered, t)
+				sol.Sum += s.ix.Space.Vals[t]
+			}
+		}
+	}
+	sort.Slice(sol.Covered, func(a, b int) bool { return sol.Covered[a] < sol.Covered[b] })
+	sort.SliceStable(sol.Clusters, func(a, b int) bool {
+		return sol.Clusters[a].Avg() > sol.Clusters[b].Avg()
+	})
+	return sol, nil
+}
+
+// Guidance is the data behind the parameter-selection visualization
+// (Figure 2): for each D, the objective value of the solution as k varies
+// over [KMin, KMax].
+type Guidance struct {
+	KMin, KMax int
+	// Series maps D to values indexed by k-KMin.
+	Series map[int][]float64
+}
+
+// Guidance returns the precomputed guidance series.
+func (s *Store) Guidance() *Guidance {
+	g := &Guidance{KMin: s.KMin, KMax: s.KMax, Series: make(map[int][]float64, len(s.perD))}
+	for d, e := range s.perD {
+		g.Series[d] = append([]float64(nil), e.avg...)
+	}
+	return g
+}
+
+// Value returns the objective value of the stored solution for (k, D).
+func (s *Store) Value(k, d int) (float64, error) {
+	entry, ok := s.perD[d]
+	if !ok {
+		return 0, fmt.Errorf("precompute: D = %d was not precomputed", d)
+	}
+	if k < s.KMin || k > s.KMax {
+		return 0, fmt.Errorf("precompute: k = %d outside [%d, %d]", k, s.KMin, s.KMax)
+	}
+	return entry.avg[k-s.KMin], nil
+}
+
+// StoredIntervals returns the total number of intervals stored across all D,
+// the space figure the interval-tree layout optimizes (O(ND) sets of
+// intervals instead of O(Nk x ND) full solutions; Section 6.2).
+func (s *Store) StoredIntervals() int {
+	n := 0
+	for _, e := range s.perD {
+		n += e.tree.Len()
+	}
+	return n
+}
+
+// NaiveStoredClusters returns the number of cluster references a naive
+// per-(k, D) materialization would store, for comparison in experiments.
+func (s *Store) NaiveStoredClusters() (int, error) {
+	n := 0
+	for _, d := range s.Ds {
+		for k := s.KMin; k <= s.KMax; k++ {
+			sol, err := s.Solution(k, d)
+			if err != nil {
+				return 0, err
+			}
+			n += sol.Size()
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,84 @@
+package precompute
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"qagview/internal/intervaltree"
+	"qagview/internal/lattice"
+)
+
+// snapshot is the wire form of a Store. Cluster ids refer to the index the
+// store was computed against; decoding therefore requires rebuilding the
+// identical index (index construction is deterministic for a given answer
+// set and L, so persisting the query result alongside the snapshot is
+// sufficient).
+type snapshot struct {
+	L, KMin, KMax int
+	Ds            []int
+	PerD          map[int]snapshotEntry
+	NumClusters   int // sanity check against the index at decode time
+}
+
+type snapshotEntry struct {
+	Intervals []intervaltree.Interval
+	Avg       []float64
+	MinSize   int
+}
+
+// Encode serializes the store with encoding/gob.
+func (s *Store) Encode(w io.Writer) error {
+	snap := snapshot{
+		L: s.L, KMin: s.KMin, KMax: s.KMax,
+		Ds:          append([]int(nil), s.Ds...),
+		PerD:        make(map[int]snapshotEntry, len(s.perD)),
+		NumClusters: s.ix.NumClusters(),
+	}
+	for d, e := range s.perD {
+		snap.PerD[d] = snapshotEntry{
+			Intervals: e.ivs,
+			Avg:       append([]float64(nil), e.avg...),
+			MinSize:   e.minSize,
+		}
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("precompute: encoding store: %w", err)
+	}
+	return nil
+}
+
+// Decode reconstructs a store previously written by Encode, binding it to
+// ix, which must be the index (same answer set and L) the store was computed
+// against.
+func Decode(r io.Reader, ix *lattice.Index) (*Store, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("precompute: decoding store: %w", err)
+	}
+	if snap.NumClusters != ix.NumClusters() {
+		return nil, fmt.Errorf("precompute: snapshot was computed against an index with %d clusters, this index has %d",
+			snap.NumClusters, ix.NumClusters())
+	}
+	if snap.L != ix.L {
+		return nil, fmt.Errorf("precompute: snapshot L = %d but index L = %d", snap.L, ix.L)
+	}
+	st := &Store{
+		ix: ix, L: snap.L, KMin: snap.KMin, KMax: snap.KMax,
+		Ds:   snap.Ds,
+		perD: make(map[int]*dEntry, len(snap.PerD)),
+	}
+	for d, e := range snap.PerD {
+		for _, iv := range e.Intervals {
+			if iv.Payload < 0 || int(iv.Payload) >= ix.NumClusters() {
+				return nil, fmt.Errorf("precompute: snapshot references cluster %d outside the index", iv.Payload)
+			}
+		}
+		tree, err := intervaltree.Build(e.Intervals)
+		if err != nil {
+			return nil, err
+		}
+		st.perD[d] = &dEntry{tree: tree, ivs: e.Intervals, avg: e.Avg, minSize: e.MinSize}
+	}
+	return st, nil
+}

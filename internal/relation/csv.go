@@ -1,0 +1,85 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ReadCSV parses a CSV stream with a header row into a relation. kinds maps
+// each header column to its physical type; if kinds is nil every column is
+// read as text.
+func ReadCSV(r io.Reader, name string, kinds map[string]Kind) (*Relation, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+	}
+	names := make([]string, len(header))
+	copy(names, header)
+	cols := make([]Column, len(names))
+	for i, n := range names {
+		k := KindString
+		if kinds != nil {
+			if kk, ok := kinds[n]; ok {
+				k = kk
+			}
+		}
+		cols[i] = Column{Name: n, Kind: k}
+	}
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: reading CSV row %d: %w", row, err)
+		}
+		if len(rec) != len(cols) {
+			return nil, fmt.Errorf("relation: CSV row %d has %d fields, want %d", row, len(rec), len(cols))
+		}
+		for i, field := range rec {
+			c := &cols[i]
+			switch c.Kind {
+			case KindString:
+				c.Str = append(c.Str, field)
+			case KindInt:
+				v, err := strconv.ParseInt(field, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("relation: CSV row %d column %q: %w", row, c.Name, err)
+				}
+				c.Int = append(c.Int, v)
+			case KindFloat:
+				v, err := strconv.ParseFloat(field, 64)
+				if err != nil {
+					return nil, fmt.Errorf("relation: CSV row %d column %q: %w", row, c.Name, err)
+				}
+				c.Float = append(c.Float, v)
+			}
+		}
+		row++
+	}
+	return FromColumns(name, cols...)
+}
+
+// WriteCSV writes the relation as CSV with a header row.
+func WriteCSV(w io.Writer, r *Relation) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.ColumnNames()); err != nil {
+		return fmt.Errorf("relation: writing CSV header: %w", err)
+	}
+	rec := make([]string, r.NumCols())
+	for row := 0; row < r.NumRows(); row++ {
+		for col := 0; col < r.NumCols(); col++ {
+			rec[col] = r.StringAt(col, row)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("relation: writing CSV row %d: %w", row, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,187 @@
+// Package relation implements the in-memory columnar relation store used as
+// the storage substrate of qagview. The paper's prototype materializes joined
+// tables (e.g. the MovieLens RatingTable) in PostgreSQL; this package plays
+// that role with typed columns and dictionary encoding for categorical
+// attributes, which is also the "hash values for fields" optimization of
+// Section 6.3 of the paper.
+package relation
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind identifies the physical type of a column.
+type Kind int
+
+const (
+	// KindString is a categorical (text) column.
+	KindString Kind = iota
+	// KindInt is a 64-bit signed integer column.
+	KindInt
+	// KindFloat is a float64 column.
+	KindFloat
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "text"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Column is a single typed column. Exactly one of Str, Int, Float is
+// populated, according to Kind.
+type Column struct {
+	Name  string
+	Kind  Kind
+	Str   []string
+	Int   []int64
+	Float []float64
+}
+
+// Len returns the number of rows stored in the column.
+func (c *Column) Len() int {
+	switch c.Kind {
+	case KindString:
+		return len(c.Str)
+	case KindInt:
+		return len(c.Int)
+	case KindFloat:
+		return len(c.Float)
+	default:
+		return 0
+	}
+}
+
+// StringAt renders the value in row i as a string, independent of kind.
+func (c *Column) StringAt(i int) string {
+	switch c.Kind {
+	case KindString:
+		return c.Str[i]
+	case KindInt:
+		return strconv.FormatInt(c.Int[i], 10)
+	case KindFloat:
+		return strconv.FormatFloat(c.Float[i], 'g', -1, 64)
+	default:
+		return ""
+	}
+}
+
+// FloatAt returns the numeric value of row i. Categorical columns return an
+// error, since qagview never interprets categories numerically.
+func (c *Column) FloatAt(i int) (float64, error) {
+	switch c.Kind {
+	case KindInt:
+		return float64(c.Int[i]), nil
+	case KindFloat:
+		return c.Float[i], nil
+	default:
+		return 0, fmt.Errorf("relation: column %q has kind %s, not numeric", c.Name, c.Kind)
+	}
+}
+
+// StringCol builds a categorical column.
+func StringCol(name string, vals []string) Column {
+	return Column{Name: name, Kind: KindString, Str: vals}
+}
+
+// IntCol builds an integer column.
+func IntCol(name string, vals []int64) Column {
+	return Column{Name: name, Kind: KindInt, Int: vals}
+}
+
+// FloatCol builds a float column.
+func FloatCol(name string, vals []float64) Column {
+	return Column{Name: name, Kind: KindFloat, Float: vals}
+}
+
+// Relation is an immutable named collection of equal-length columns.
+type Relation struct {
+	name   string
+	cols   []Column
+	byName map[string]int
+	n      int
+}
+
+// FromColumns assembles a relation, validating that column names are unique
+// and all columns have the same length.
+func FromColumns(name string, cols ...Column) (*Relation, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("relation %q: no columns", name)
+	}
+	r := &Relation{name: name, cols: cols, byName: make(map[string]int, len(cols)), n: cols[0].Len()}
+	for i := range cols {
+		c := &cols[i]
+		if c.Name == "" {
+			return nil, fmt.Errorf("relation %q: column %d has empty name", name, i)
+		}
+		if _, dup := r.byName[c.Name]; dup {
+			return nil, fmt.Errorf("relation %q: duplicate column %q", name, c.Name)
+		}
+		if c.Len() != r.n {
+			return nil, fmt.Errorf("relation %q: column %q has %d rows, want %d", name, c.Name, c.Len(), r.n)
+		}
+		r.byName[c.Name] = i
+	}
+	return r, nil
+}
+
+// MustFromColumns is FromColumns that panics on error; intended for tests and
+// generators with statically correct shapes.
+func MustFromColumns(name string, cols ...Column) *Relation {
+	r, err := FromColumns(name, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// NumRows returns the row count.
+func (r *Relation) NumRows() int { return r.n }
+
+// NumCols returns the column count.
+func (r *Relation) NumCols() int { return len(r.cols) }
+
+// Column returns the i-th column.
+func (r *Relation) Column(i int) *Column { return &r.cols[i] }
+
+// ColumnNames returns the names of all columns in declaration order.
+func (r *Relation) ColumnNames() []string {
+	names := make([]string, len(r.cols))
+	for i := range r.cols {
+		names[i] = r.cols[i].Name
+	}
+	return names
+}
+
+// ColumnByName returns the named column, or false if absent.
+func (r *Relation) ColumnByName(name string) (*Column, bool) {
+	i, ok := r.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return &r.cols[i], true
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (r *Relation) ColumnIndex(name string) int {
+	i, ok := r.byName[name]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// StringAt renders row/column as a string.
+func (r *Relation) StringAt(col, row int) string { return r.cols[col].StringAt(row) }

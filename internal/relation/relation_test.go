@@ -1,0 +1,199 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample(t *testing.T) *Relation {
+	t.Helper()
+	r, err := FromColumns("movies",
+		StringCol("genre", []string{"adventure", "comedy", "drama"}),
+		IntCol("year", []int64{1985, 1990, 1995}),
+		FloatCol("rating", []float64{4.2, 3.1, 2.5}),
+	)
+	if err != nil {
+		t.Fatalf("FromColumns: %v", err)
+	}
+	return r
+}
+
+func TestFromColumnsShape(t *testing.T) {
+	r := sample(t)
+	if r.Name() != "movies" {
+		t.Errorf("Name = %q, want movies", r.Name())
+	}
+	if r.NumRows() != 3 || r.NumCols() != 3 {
+		t.Errorf("shape = (%d, %d), want (3, 3)", r.NumRows(), r.NumCols())
+	}
+}
+
+func TestFromColumnsErrors(t *testing.T) {
+	if _, err := FromColumns("empty"); err == nil {
+		t.Error("no columns: want error")
+	}
+	if _, err := FromColumns("dup", StringCol("a", nil), StringCol("a", nil)); err == nil {
+		t.Error("duplicate names: want error")
+	}
+	if _, err := FromColumns("ragged", StringCol("a", []string{"x"}), StringCol("b", nil)); err == nil {
+		t.Error("ragged columns: want error")
+	}
+	if _, err := FromColumns("anon", Column{Kind: KindString}); err == nil {
+		t.Error("empty column name: want error")
+	}
+}
+
+func TestMustFromColumnsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustFromColumns on invalid input did not panic")
+		}
+	}()
+	MustFromColumns("bad", StringCol("a", []string{"x"}), StringCol("a", []string{"y"}))
+}
+
+func TestColumnByName(t *testing.T) {
+	r := sample(t)
+	c, ok := r.ColumnByName("year")
+	if !ok || c.Kind != KindInt {
+		t.Fatalf("ColumnByName(year) = %v, %v", c, ok)
+	}
+	if _, ok := r.ColumnByName("nope"); ok {
+		t.Error("ColumnByName(nope) found a column")
+	}
+	if got := r.ColumnIndex("rating"); got != 2 {
+		t.Errorf("ColumnIndex(rating) = %d, want 2", got)
+	}
+	if got := r.ColumnIndex("nope"); got != -1 {
+		t.Errorf("ColumnIndex(nope) = %d, want -1", got)
+	}
+}
+
+func TestStringAtRendering(t *testing.T) {
+	r := sample(t)
+	cases := []struct {
+		col, row int
+		want     string
+	}{
+		{0, 0, "adventure"},
+		{1, 1, "1990"},
+		{2, 2, "2.5"},
+	}
+	for _, c := range cases {
+		if got := r.StringAt(c.col, c.row); got != c.want {
+			t.Errorf("StringAt(%d,%d) = %q, want %q", c.col, c.row, got, c.want)
+		}
+	}
+}
+
+func TestFloatAt(t *testing.T) {
+	r := sample(t)
+	if v, err := r.Column(1).FloatAt(0); err != nil || v != 1985 {
+		t.Errorf("FloatAt int col = %v, %v", v, err)
+	}
+	if v, err := r.Column(2).FloatAt(0); err != nil || v != 4.2 {
+		t.Errorf("FloatAt float col = %v, %v", v, err)
+	}
+	if _, err := r.Column(0).FloatAt(0); err == nil {
+		t.Error("FloatAt on text column: want error")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindString.String() != "text" || KindInt.String() != "int" || KindFloat.String() != "float" {
+		t.Errorf("kind names wrong: %s %s %s", KindString, KindInt, KindFloat)
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestDictRoundTrip(t *testing.T) {
+	d := NewDict()
+	a := d.ID("alpha")
+	b := d.ID("beta")
+	if a == b {
+		t.Fatal("distinct strings got the same id")
+	}
+	if d.ID("alpha") != a {
+		t.Error("re-interning changed the id")
+	}
+	if d.Value(a) != "alpha" || d.Value(b) != "beta" {
+		t.Error("Value does not round-trip")
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+	if _, ok := d.Lookup("gamma"); ok {
+		t.Error("Lookup(gamma) should miss")
+	}
+	if id, ok := d.Lookup("beta"); !ok || id != b {
+		t.Error("Lookup(beta) should hit")
+	}
+	if got := d.Values(); len(got) != 2 || got[0] != "alpha" {
+		t.Errorf("Values = %v", got)
+	}
+}
+
+func TestDictDenseIDsProperty(t *testing.T) {
+	// Property: interning any sequence of strings yields ids that are dense
+	// in [0, Len) and stable across repeats.
+	f := func(words []string) bool {
+		d := NewDict()
+		for _, w := range words {
+			id := d.ID(w)
+			if id < 0 || int(id) >= d.Len() {
+				return false
+			}
+			if d.Value(id) != w {
+				return false
+			}
+			if again := d.ID(w); again != id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := sample(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, r); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf, "movies", map[string]Kind{"year": KindInt, "rating": KindFloat})
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if got.NumRows() != r.NumRows() || got.NumCols() != r.NumCols() {
+		t.Fatalf("round trip shape = (%d,%d)", got.NumRows(), got.NumCols())
+	}
+	for col := 0; col < r.NumCols(); col++ {
+		for row := 0; row < r.NumRows(); row++ {
+			if got.StringAt(col, row) != r.StringAt(col, row) {
+				t.Errorf("cell (%d,%d) = %q, want %q", col, row, got.StringAt(col, row), r.StringAt(col, row))
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), "t", nil); err == nil {
+		t.Error("empty input: want error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1\n"), "t", nil); err == nil {
+		t.Error("ragged row: want error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a\nnotint\n"), "t", map[string]Kind{"a": KindInt}); err == nil {
+		t.Error("bad int: want error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a\nnotfloat\n"), "t", map[string]Kind{"a": KindFloat}); err == nil {
+		t.Error("bad float: want error")
+	}
+}

@@ -1,0 +1,139 @@
+package sankey
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file implements the alternative placement formulation of Appendix
+// A.7.2: box heights proportional to cluster sizes, so positions are prefix
+// sums rather than uniform slots and the objective weighs band widths by the
+// distance between box centers. The paper shows this variant is NP-hard (by
+// reduction from earliness-tardiness scheduling) and defers it; here it gets
+// an exact solver for small instances and a barycenter heuristic.
+
+// leftCenters returns the vertical center of each left box with heights
+// proportional to cluster sizes, in the fixed left order.
+func (d *Diff) leftCenters() []float64 {
+	centers := make([]float64, len(d.Left))
+	y := 0.0
+	for i, c := range d.Left {
+		h := boxHeight(c.Size())
+		centers[i] = y + h/2
+		y += h
+	}
+	return centers
+}
+
+// rightCenters returns the center of each right cluster under the placement
+// (order[j] = display position of Right[j]).
+func (d *Diff) rightCenters(order []int) []float64 {
+	n := len(d.Right)
+	atPos := make([]int, n)
+	for j, p := range order {
+		atPos[p] = j
+	}
+	centers := make([]float64, n)
+	y := 0.0
+	for p := 0; p < n; p++ {
+		j := atPos[p]
+		h := boxHeight(d.Right[j].Size())
+		centers[j] = y + h/2
+		y += h
+	}
+	return centers
+}
+
+func boxHeight(size int) float64 {
+	if size < 1 {
+		return 1
+	}
+	return float64(size)
+}
+
+// HeightDistance is the variable-height objective: sum over bands of
+// band width times the vertical distance between the connected box centers.
+func (d *Diff) HeightDistance(order []int) float64 {
+	lc := d.leftCenters()
+	rc := d.rightCenters(order)
+	total := 0.0
+	for i := range d.Left {
+		for j := range d.Right {
+			if d.M[i][j] == 0 {
+				continue
+			}
+			total += float64(d.M[i][j]) * math.Abs(lc[i]-rc[j])
+		}
+	}
+	return total
+}
+
+// BarycenterHeightOrder is the heuristic for the NP-hard variable-height
+// placement: order the new clusters by the band-weighted average (the
+// barycenter) of the centers of the old clusters they share tuples with.
+// Clusters without bands keep their relative input order at the end.
+func (d *Diff) BarycenterHeightOrder() []int {
+	lc := d.leftCenters()
+	n := len(d.Right)
+	type entry struct {
+		j    int
+		bary float64
+		free bool
+	}
+	entries := make([]entry, n)
+	for j := 0; j < n; j++ {
+		wsum, csum := 0.0, 0.0
+		for i := range d.Left {
+			if d.M[i][j] > 0 {
+				wsum += float64(d.M[i][j])
+				csum += float64(d.M[i][j]) * lc[i]
+			}
+		}
+		if wsum == 0 {
+			entries[j] = entry{j: j, bary: math.Inf(1), free: true}
+		} else {
+			entries[j] = entry{j: j, bary: csum / wsum}
+		}
+	}
+	sort.SliceStable(entries, func(a, b int) bool { return entries[a].bary < entries[b].bary })
+	order := make([]int, n)
+	for p, e := range entries {
+		order[e.j] = p
+	}
+	return order
+}
+
+// BruteForceHeightOrder enumerates all placements for the variable-height
+// objective; it errors beyond 9 clusters.
+func (d *Diff) BruteForceHeightOrder() ([]int, error) {
+	n := len(d.Right)
+	if n > 9 {
+		return nil, fmt.Errorf("sankey: height brute force limited to 9 clusters, got %d", n)
+	}
+	best := make([]int, n)
+	bestCost := math.Inf(1)
+	cur := make([]int, n)
+	used := make([]bool, n)
+	var rec func(j int)
+	rec = func(j int) {
+		if j == n {
+			if c := d.HeightDistance(cur); c < bestCost {
+				bestCost = c
+				copy(best, cur)
+			}
+			return
+		}
+		for pos := 0; pos < n; pos++ {
+			if used[pos] {
+				continue
+			}
+			used[pos] = true
+			cur[j] = pos
+			rec(j + 1)
+			used[pos] = false
+		}
+	}
+	rec(0)
+	return best, nil
+}

@@ -1,0 +1,193 @@
+// Package sankey implements the successive-solution comparison view of
+// Appendix A.7 of the paper: given the cluster sets of two consecutive runs,
+// it computes the tuple-overlap bands between old and new clusters and
+// chooses a vertical ordering of the new clusters that minimizes the total
+// weighted earth-mover's crossing distance, by reduction to minimum-cost
+// perfect bipartite matching (solved exactly in polynomial time, per the
+// paper's Definition A.3).
+package sankey
+
+import (
+	"fmt"
+	"math"
+
+	"qagview/internal/lattice"
+	"qagview/internal/matching"
+	"qagview/internal/summarize"
+)
+
+// Diff is the comparison data between an old and a new solution.
+type Diff struct {
+	// Left and Right are the old and new cluster lists, in display (value)
+	// order; left positions are fixed at 0..len(Left)-1.
+	Left, Right []*lattice.Cluster
+	// M[i][j] is the number of tuples shared by Left[i] and Right[j] (the
+	// band widths).
+	M [][]int
+	// LeftTop and RightTop count covered top-L tuples per cluster, the
+	// darker box fractions in the visualization.
+	LeftTop, RightTop []int
+}
+
+// NewDiff builds the overlap matrix between two solutions over the same
+// index. L is the coverage parameter used for the top-tuple counts.
+func NewDiff(ix *lattice.Index, old, new *summarize.Solution, L int) (*Diff, error) {
+	if old == nil || new == nil || old.Size() == 0 || new.Size() == 0 {
+		return nil, fmt.Errorf("sankey: both solutions must be non-empty")
+	}
+	d := &Diff{
+		Left:     old.Clusters,
+		Right:    new.Clusters,
+		LeftTop:  make([]int, old.Size()),
+		RightTop: make([]int, new.Size()),
+	}
+	d.M = make([][]int, old.Size())
+	for i, a := range d.Left {
+		d.M[i] = make([]int, new.Size())
+		for j, b := range d.Right {
+			d.M[i][j] = intersectCount(a.Cov, b.Cov)
+		}
+		d.LeftTop[i] = topCount(a.Cov, L)
+	}
+	for j, b := range d.Right {
+		d.RightTop[j] = topCount(b.Cov, L)
+	}
+	return d, nil
+}
+
+func intersectCount(a, b []int32) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+func topCount(cov []int32, L int) int {
+	n := 0
+	for _, t := range cov {
+		if int(t) < L {
+			n++
+		}
+	}
+	return n
+}
+
+// DefaultOrder is the baseline placement: new clusters in their given
+// (value) order.
+func (d *Diff) DefaultOrder() []int {
+	out := make([]int, len(d.Right))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// OptimalOrder returns the position of each right cluster (order[j] is the
+// display position of Right[j]) minimizing the total weighted distance
+// sum_ij M[i][j] * |i - pos(j)|, via the Hungarian algorithm on the
+// cluster-to-position cost matrix (Appendix A.7.2).
+func (d *Diff) OptimalOrder() ([]int, error) {
+	n := len(d.Right)
+	cost := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		cost[j] = make([]float64, n)
+		for pos := 0; pos < n; pos++ {
+			c := 0.0
+			for i := range d.Left {
+				c += float64(d.M[i][j]) * math.Abs(float64(i)-float64(pos))
+			}
+			cost[j][pos] = c
+		}
+	}
+	assignment, _, err := matching.MinCost(cost)
+	if err != nil {
+		return nil, err
+	}
+	return assignment, nil
+}
+
+// BruteForceOrder enumerates all placements (for tests and the paper's
+// runtime comparison); it errors beyond 9 clusters.
+func (d *Diff) BruteForceOrder() ([]int, error) {
+	n := len(d.Right)
+	if n > 9 {
+		return nil, fmt.Errorf("sankey: brute force limited to 9 clusters, got %d", n)
+	}
+	best := make([]int, n)
+	bestCost := math.Inf(1)
+	cur := make([]int, n)
+	used := make([]bool, n)
+	var rec func(j int)
+	rec = func(j int) {
+		if j == n {
+			if c := float64(d.TotalDistance(cur)); c < bestCost {
+				bestCost = c
+				copy(best, cur)
+			}
+			return
+		}
+		for pos := 0; pos < n; pos++ {
+			if used[pos] {
+				continue
+			}
+			used[pos] = true
+			cur[j] = pos
+			rec(j + 1)
+			used[pos] = false
+		}
+	}
+	rec(0)
+	return best, nil
+}
+
+// TotalDistance is the objective of Definition A.3 for a placement:
+// sum_ij M[i][j] * |i - order[j]|.
+func (d *Diff) TotalDistance(order []int) int {
+	total := 0
+	for i := range d.Left {
+		for j := range d.Right {
+			if d.M[i][j] == 0 {
+				continue
+			}
+			diff := i - order[j]
+			if diff < 0 {
+				diff = -diff
+			}
+			total += d.M[i][j] * diff
+		}
+	}
+	return total
+}
+
+// Crossings counts pairs of non-empty bands that cross under the placement,
+// the second clutter metric of Figure 16b.
+func (d *Diff) Crossings(order []int) int {
+	type band struct{ i, pos int }
+	var bands []band
+	for i := range d.Left {
+		for j := range d.Right {
+			if d.M[i][j] > 0 {
+				bands = append(bands, band{i, order[j]})
+			}
+		}
+	}
+	n := 0
+	for x := 0; x < len(bands); x++ {
+		for y := x + 1; y < len(bands); y++ {
+			if (bands[x].i-bands[y].i)*(bands[x].pos-bands[y].pos) < 0 {
+				n++
+			}
+		}
+	}
+	return n
+}

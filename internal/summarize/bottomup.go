@@ -1,0 +1,253 @@
+package summarize
+
+import (
+	"sort"
+
+	"qagview/internal/lattice"
+	"qagview/internal/pattern"
+)
+
+// pairInfo is one candidate merge between two clusters of the working
+// solution. lca is the id of their LCA cluster, computed lazily (-1 until
+// first evaluation).
+type pairInfo struct {
+	a, b int32
+	lca  int32
+	dist int32
+}
+
+// pairSet incrementally maintains the candidate merge pairs over the working
+// solution: pairs whose endpoints left the solution are dropped lazily, and
+// merging appends pairs between the merged cluster and the survivors. This
+// avoids recomputing the quadratic pair set every greedy round.
+type pairSet struct {
+	ws    *workset
+	pairs []pairInfo
+}
+
+func newPairSet(ws *workset) *pairSet {
+	ps := &pairSet{ws: ws}
+	ids := sortedIDs(ws)
+	for i, a := range ids {
+		ca := ws.clusters[a]
+		for _, b := range ids[i+1:] {
+			cb := ws.clusters[b]
+			ps.pairs = append(ps.pairs, pairInfo{
+				a: a, b: b, lca: -1,
+				dist: int32(pattern.Distance(ca.Pat, cb.Pat)),
+			})
+		}
+	}
+	return ps
+}
+
+func sortedIDs(ws *workset) []int32 {
+	ids := make([]int32, 0, len(ws.clusters))
+	for id := range ws.clusters {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// evaluator scores a candidate merged cluster; higher is better. The
+// standard UpdateSolution criterion is the tentative solution average
+// (ws.evalAdd); the max-LCA variant uses the LCA's own average.
+type evaluator func(lca *lattice.Cluster) float64
+
+// best scans the live pairs, compacting out dead ones, and returns the pair
+// maximizing eval among those passing the filter (nil filter accepts all
+// pairs, as in the second phase of Algorithm 1). ok is false when no live
+// pair passes the filter.
+func (ps *pairSet) best(filter func(dist int) bool, eval evaluator) (pairInfo, bool) {
+	alive := ps.pairs[:0]
+	var best pairInfo
+	bestVal := 0.0
+	found := false
+	for _, pi := range ps.pairs {
+		if _, ok := ps.ws.clusters[pi.a]; !ok {
+			continue
+		}
+		if _, ok := ps.ws.clusters[pi.b]; !ok {
+			continue
+		}
+		if pi.lca >= 0 {
+			alive = append(alive, pi)
+		} else {
+			alive = append(alive, pi) // lca filled below via index into alive
+		}
+		if filter != nil && !filter(int(pi.dist)) {
+			continue
+		}
+		idx := len(alive) - 1
+		if alive[idx].lca < 0 {
+			lca, err := ps.ws.ix.LCACluster(ps.ws.clusters[pi.a], ps.ws.clusters[pi.b])
+			if err != nil {
+				// Clusters in a workset always come from its index; treat a
+				// miss as impossible-by-construction.
+				panic(err)
+			}
+			alive[idx].lca = lca.ID
+		}
+		v := eval(ps.ws.ix.Cluster(alive[idx].lca))
+		if !found || v > bestVal {
+			found = true
+			bestVal = v
+			best = alive[idx]
+		}
+	}
+	ps.pairs = alive
+	return best, found
+}
+
+// merge applies the chosen pair: replaces its endpoints (and anything the
+// LCA covers) with the LCA cluster and adds candidate pairs between the new
+// cluster and the survivors.
+func (ps *pairSet) merge(pi pairInfo) error {
+	a, b := ps.ws.clusters[pi.a], ps.ws.clusters[pi.b]
+	lca, _, err := ps.ws.merge(a, b)
+	if err != nil {
+		return err
+	}
+	for _, id := range sortedIDs(ps.ws) {
+		if id == lca.ID {
+			continue
+		}
+		other := ps.ws.clusters[id]
+		x, y := lca.ID, id
+		if x > y {
+			x, y = y, x
+		}
+		ps.pairs = append(ps.pairs, pairInfo{
+			a: x, b: y, lca: -1,
+			dist: int32(pattern.Distance(lca.Pat, other.Pat)),
+		})
+	}
+	return nil
+}
+
+// bottomUpPhases runs the two phases of Algorithm 1 on the current working
+// solution: first merge pairs violating the distance constraint, then merge
+// down to the size constraint. eval scores candidate merges.
+func bottomUpPhases(ws *workset, p Params, eval evaluator) error {
+	ps := newPairSet(ws)
+	// Phase 1: enforce pairwise distance >= D.
+	for {
+		pi, ok := ps.best(func(d int) bool { return d < p.D }, eval)
+		if !ok {
+			break
+		}
+		if err := ps.merge(pi); err != nil {
+			return err
+		}
+	}
+	// Phase 2: enforce |O| <= k, considering all pairs.
+	for ws.size() > p.K {
+		pi, ok := ps.best(nil, eval)
+		if !ok {
+			break
+		}
+		if err := ps.merge(pi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BottomUp is Algorithm 1: start from the top-L singleton clusters and
+// greedily merge, first to satisfy the distance constraint, then the size
+// constraint, choosing at each step the merge that maximizes the tentative
+// solution average.
+func BottomUp(ix *lattice.Index, p Params, opts ...Option) (*Solution, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := p.Validate(ix); err != nil {
+		return nil, err
+	}
+	ws := newWorkset(ix, cfg.delta)
+	ws.obj = cfg.obj
+	for rank := 0; rank < p.L; rank++ {
+		ws.add(ix.Singleton(rank))
+	}
+	if err := bottomUpPhases(ws, p, ws.evalAdd); err != nil {
+		return nil, err
+	}
+	return finish(ws, &cfg), nil
+}
+
+// BottomUpMaxLCA is the Section 5.1 variant that greedily merges the pair
+// whose LCA has the maximum own average, instead of maximizing the overall
+// solution average. The paper found it comparable or worse; it is kept for
+// the ablation experiments.
+func BottomUpMaxLCA(ix *lattice.Index, p Params, opts ...Option) (*Solution, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := p.Validate(ix); err != nil {
+		return nil, err
+	}
+	ws := newWorkset(ix, cfg.delta)
+	ws.obj = cfg.obj
+	for rank := 0; rank < p.L; rank++ {
+		ws.add(ix.Singleton(rank))
+	}
+	if err := bottomUpPhases(ws, p, func(lca *lattice.Cluster) float64 { return lca.Avg() }); err != nil {
+		return nil, err
+	}
+	return finish(ws, &cfg), nil
+}
+
+// BottomUpLevelStart is the Section 5.1 variant that seeds the working
+// solution with, for each top-L tuple, its ancestor at level D-1 (which
+// already satisfies the distance constraint between distinct seeds derived
+// from the monotonicity property), then runs the two phases.
+func BottomUpLevelStart(ix *lattice.Index, p Params, opts ...Option) (*Solution, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := p.Validate(ix); err != nil {
+		return nil, err
+	}
+	level := p.D - 1
+	if level < 0 {
+		level = 0
+	}
+	if level > ix.Space.M() {
+		level = ix.Space.M()
+	}
+	ws := newWorkset(ix, cfg.delta)
+	ws.obj = cfg.obj
+	for rank := 0; rank < p.L; rank++ {
+		t := ix.Space.Tuples[rank]
+		anc := t.Clone()
+		// Deterministically star the trailing `level` attributes.
+		for j := len(anc) - level; j < len(anc); j++ {
+			anc[j] = pattern.Star
+		}
+		c, ok := ix.Lookup(anc)
+		if !ok {
+			// Ancestors of top-L tuples are always generated.
+			panic("summarize: level-start ancestor missing from index")
+		}
+		// Skip seeds covered by an existing seed to keep the antichain.
+		skip := false
+		for _, cur := range ws.clusters {
+			if cur.Pat.Covers(c.Pat) {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		ws.add(c)
+	}
+	if err := bottomUpPhases(ws, p, ws.evalAdd); err != nil {
+		return nil, err
+	}
+	return finish(ws, &cfg), nil
+}

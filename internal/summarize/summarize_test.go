@@ -1,0 +1,609 @@
+package summarize
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"qagview/internal/lattice"
+	"qagview/internal/pattern"
+)
+
+// buildSpace constructs a space from rows/vals with generated attr names.
+func buildSpace(t *testing.T, m int, rows [][]string, vals []float64) *lattice.Space {
+	t.Helper()
+	attrs := make([]string, m)
+	for i := range attrs {
+		attrs[i] = fmt.Sprintf("A%d", i)
+	}
+	s, err := lattice.NewSpace(attrs, rows, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// randomIndex builds an index over a random categorical space with planted
+// high-value structure (a couple of attribute values correlate with high
+// values) so summaries are non-trivial.
+func randomIndex(t *testing.T, seed int64, n, m, dom, L int) *lattice.Index {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	if pow(dom, m) < n {
+		t.Fatalf("domain too small for %d unique rows", n)
+	}
+	rows := make([][]string, 0, n)
+	vals := make([]float64, 0, n)
+	seen := map[string]bool{}
+	for len(rows) < n {
+		row := make([]string, m)
+		key := ""
+		boost := 0.0
+		for j := range row {
+			v := rng.Intn(dom)
+			row[j] = fmt.Sprintf("v%d_%d", j, v)
+			key += row[j] + "|"
+			if v == 0 && j < 2 {
+				boost += 1.0
+			}
+		}
+		if seen[key] {
+			continue // group-by output rows are unique
+		}
+		seen[key] = true
+		rows = append(rows, row)
+		vals = append(vals, rng.Float64()*2+boost)
+	}
+	s := buildSpace(t, m, rows, vals)
+	ix, err := lattice.BuildIndex(s, L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestParamsValidate(t *testing.T) {
+	ix := randomIndex(t, 1, 30, 4, 3, 10)
+	bad := []Params{
+		{K: 0, L: 5, D: 1},
+		{K: 3, L: 0, D: 1},
+		{K: 3, L: 11, D: 1}, // beyond index L
+		{K: 3, L: 5, D: -1},
+		{K: 3, L: 5, D: 5}, // > m
+	}
+	for _, p := range bad {
+		if err := p.Validate(ix); err == nil {
+			t.Errorf("Params %+v: want error", p)
+		}
+	}
+	if err := (Params{K: 3, L: 5, D: 2}).Validate(ix); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+// TestAllAlgorithmsFeasible is the central invariant test: every algorithm
+// returns a solution satisfying all four conditions of Definition 4.1, over
+// a grid of parameter settings and random spaces.
+func TestAllAlgorithmsFeasible(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		ix := randomIndex(t, 100+seed, 80, 4, 3, 20)
+		for _, k := range []int{1, 3, 8, 25} {
+			for _, L := range []int{1, 5, 20} {
+				for _, D := range []int{0, 1, 2, 4} {
+					p := Params{K: k, L: L, D: D}
+					for _, algo := range Algorithms() {
+						if algo == AlgoBruteForce && (L > 5 || k > 3) {
+							continue // exponential; tested separately
+						}
+						sol, err := Run(algo, ix, p, WithRand(rand.New(rand.NewSource(7))))
+						if err != nil {
+							t.Fatalf("seed=%d %s %+v: %v", seed, algo, p, err)
+						}
+						if err := Validate(ix, p, sol); err != nil {
+							t.Errorf("seed=%d %s %+v: infeasible: %v", seed, algo, p, err)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBottomUpTopKWhenUnconstrained(t *testing.T) {
+	// With D = 0 and k >= L, Bottom-Up keeps the L singletons: the top-L
+	// original elements (Section 4.3 case 1).
+	ix := randomIndex(t, 2, 50, 4, 3, 8)
+	p := Params{K: 10, L: 8, D: 0}
+	sol, err := BottomUp(ix, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Size() != 8 {
+		t.Fatalf("size = %d, want 8", sol.Size())
+	}
+	for _, c := range sol.Clusters {
+		if c.Pat.Level() != 0 {
+			t.Errorf("cluster %v is not a singleton", c.Pat)
+		}
+	}
+	// Objective equals the average of the top-8 values.
+	want := 0.0
+	for i := 0; i < 8; i++ {
+		want += ix.Space.Vals[i]
+	}
+	want /= 8
+	if math.Abs(sol.AvgValue()-want) > 1e-9 {
+		t.Errorf("avg = %v, want %v", sol.AvgValue(), want)
+	}
+}
+
+func TestLowerBoundIsTrivialAndWorst(t *testing.T) {
+	ix := randomIndex(t, 3, 60, 4, 3, 10)
+	lb := LowerBound(ix)
+	if lb.Size() != 1 || lb.Clusters[0].Pat.Level() != ix.Space.M() {
+		t.Fatalf("lower bound is not the all-star cluster: %v", lb.Clusters)
+	}
+	if len(lb.Covered) != ix.Space.N() {
+		t.Errorf("lower bound covers %d of %d", len(lb.Covered), ix.Space.N())
+	}
+	p := Params{K: 5, L: 10, D: 2}
+	for _, algo := range []Algorithm{AlgoBottomUp, AlgoFixedOrder, AlgoHybrid} {
+		sol, err := Run(algo, ix, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.AvgValue() < lb.AvgValue()-1e-9 {
+			t.Errorf("%s value %v below trivial lower bound %v", algo, sol.AvgValue(), lb.AvgValue())
+		}
+	}
+}
+
+func TestBruteForceDominatesHeuristics(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		ix := randomIndex(t, 200+seed, 40, 4, 3, 5)
+		for _, p := range []Params{{K: 2, L: 5, D: 2}, {K: 3, L: 5, D: 3}, {K: 3, L: 4, D: 1}} {
+			opt, err := BruteForce(ix, p)
+			if err != nil {
+				t.Fatalf("BruteForce %+v: %v", p, err)
+			}
+			if err := Validate(ix, p, opt); err != nil {
+				t.Fatalf("BruteForce %+v infeasible: %v", p, err)
+			}
+			for _, algo := range []Algorithm{AlgoBottomUp, AlgoFixedOrder, AlgoHybrid} {
+				sol, err := Run(algo, ix, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sol.AvgValue() > opt.AvgValue()+1e-9 {
+					t.Errorf("seed=%d %s %+v: heuristic %v beats exact %v", seed, algo, p, sol.AvgValue(), opt.AvgValue())
+				}
+			}
+		}
+	}
+}
+
+func TestBruteForceBudget(t *testing.T) {
+	ix := randomIndex(t, 4, 40, 4, 3, 5)
+	if _, err := BruteForceBudget(ix, Params{K: 3, L: 5, D: 1}, 1); err != ErrBudgetExceeded {
+		t.Errorf("want ErrBudgetExceeded, got %v", err)
+	}
+}
+
+func TestDeltaJudgmentIsPureOptimization(t *testing.T) {
+	// Delta-Judgment must not change any algorithm's output.
+	for seed := int64(0); seed < 3; seed++ {
+		ix := randomIndex(t, 300+seed, 120, 5, 3, 30)
+		for _, p := range []Params{{K: 4, L: 30, D: 2}, {K: 8, L: 15, D: 3}, {K: 2, L: 10, D: 0}} {
+			for _, algo := range []Algorithm{AlgoBottomUp, AlgoFixedOrder, AlgoHybrid} {
+				on, err := Run(algo, ix, p, WithDelta(true))
+				if err != nil {
+					t.Fatal(err)
+				}
+				off, err := Run(algo, ix, p, WithDelta(false))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameSolution(on, off) {
+					t.Errorf("seed=%d %s %+v: delta on/off diverge:\n on: %v\noff: %v",
+						seed, algo, p, patterns(ix, on), patterns(ix, off))
+				}
+			}
+		}
+	}
+}
+
+func TestDeltaJudgmentReducesFullScans(t *testing.T) {
+	ix := randomIndex(t, 5, 300, 5, 4, 60)
+	p := Params{K: 5, L: 60, D: 2}
+	var with, without Stats
+	if _, err := Hybrid(ix, p, WithDelta(true), WithStats(&with)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Hybrid(ix, p, WithDelta(false), WithStats(&without)); err != nil {
+		t.Fatal(err)
+	}
+	if with.DeltaEvals == 0 {
+		t.Error("delta cache never used")
+	}
+	if with.FullEvals >= without.FullEvals {
+		t.Errorf("delta did not reduce full scans: %d vs %d", with.FullEvals, without.FullEvals)
+	}
+}
+
+func sameSolution(a, b *Solution) bool {
+	if a.Size() != b.Size() || len(a.Covered) != len(b.Covered) {
+		return false
+	}
+	ids := map[int32]bool{}
+	for _, c := range a.Clusters {
+		ids[c.ID] = true
+	}
+	for _, c := range b.Clusters {
+		if !ids[c.ID] {
+			return false
+		}
+	}
+	return true
+}
+
+func patterns(ix *lattice.Index, s *Solution) []string {
+	out := make([]string, s.Size())
+	for i, c := range s.Clusters {
+		out[i] = ix.Space.FormatPattern(c.Pat)
+	}
+	return out
+}
+
+func TestHybridFactorOne(t *testing.T) {
+	ix := randomIndex(t, 6, 60, 4, 3, 15)
+	p := Params{K: 4, L: 15, D: 2}
+	sol, err := Hybrid(ix, p, WithHybridFactor(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(ix, p, sol); err != nil {
+		t.Error(err)
+	}
+	// Factor < 1 is clamped to 1.
+	sol2, err := Hybrid(ix, p, WithHybridFactor(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSolution(sol, sol2) {
+		t.Error("factor 0 should clamp to 1")
+	}
+}
+
+func TestRandomVariantsRequireRand(t *testing.T) {
+	ix := randomIndex(t, 7, 40, 4, 3, 10)
+	p := Params{K: 3, L: 10, D: 1}
+	if _, err := RandomFixedOrder(ix, p); err == nil {
+		t.Error("RandomFixedOrder without WithRand: want error")
+	}
+	if _, err := KMeansFixedOrder(ix, p); err == nil {
+		t.Error("KMeansFixedOrder without WithRand: want error")
+	}
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	ix := randomIndex(t, 8, 30, 4, 3, 5)
+	if _, err := Run("nope", ix, Params{K: 2, L: 5, D: 1}); err == nil {
+		t.Error("unknown algorithm: want error")
+	}
+}
+
+func TestValidateRejectsBadSolutions(t *testing.T) {
+	ix := randomIndex(t, 9, 60, 4, 3, 10)
+	p := Params{K: 3, L: 10, D: 2}
+	good, err := Hybrid(ix, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(ix, p, good); err != nil {
+		t.Fatalf("good solution rejected: %v", err)
+	}
+
+	if err := Validate(ix, p, &Solution{}); err == nil {
+		t.Error("empty solution accepted")
+	}
+	// Too many clusters.
+	tooMany := *good
+	if err := Validate(ix, Params{K: good.Size() - 1, L: p.L, D: p.D}, &tooMany); err == nil && good.Size() > 1 {
+		t.Error("oversized solution accepted")
+	}
+	// Coverage violation: a solution of one singleton far down the ranking.
+	single := &Solution{Clusters: []*lattice.Cluster{ix.Singleton(p.L - 1)}}
+	single.Covered = append([]int32(nil), ix.Singleton(p.L-1).Cov...)
+	single.Sum = ix.Singleton(p.L - 1).Sum
+	if err := Validate(ix, p, single); err == nil {
+		t.Error("non-covering solution accepted")
+	}
+	// Comparable clusters (all-star covers everything).
+	comp := &Solution{Clusters: []*lattice.Cluster{ix.AllStar(), ix.Singleton(0)}}
+	comp.Covered = append([]int32(nil), ix.AllStar().Cov...)
+	comp.Sum = ix.AllStar().Sum
+	if err := Validate(ix, Params{K: 2, L: 1, D: 0}, comp); err == nil {
+		t.Error("comparable clusters accepted")
+	}
+	// Corrupted covered bookkeeping.
+	corrupt := &Solution{Clusters: good.Clusters, Covered: good.Covered[:1], Sum: good.Sum}
+	if err := Validate(ix, p, corrupt); err == nil {
+		t.Error("corrupted Covered accepted")
+	}
+}
+
+func TestMinPairwiseDistanceNeverDecreases(t *testing.T) {
+	// Monotonicity in action: the final solution's pairwise minimum distance
+	// must satisfy D for every algorithm, even after many merges.
+	ix := randomIndex(t, 10, 150, 5, 3, 40)
+	for _, D := range []int{1, 2, 3, 5} {
+		p := Params{K: 6, L: 40, D: D}
+		for _, algo := range []Algorithm{AlgoBottomUp, AlgoFixedOrder, AlgoHybrid, AlgoBottomUpLevelStart} {
+			sol, err := Run(algo, ix, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, a := range sol.Clusters {
+				for _, b := range sol.Clusters[i+1:] {
+					if d := pattern.Distance(a.Pat, b.Pat); d < D {
+						t.Errorf("%s D=%d: pair at distance %d", algo, D, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSweepContinuityProposition61(t *testing.T) {
+	// Once a cluster leaves the solution during the Bottom-Up phase it never
+	// returns, so each cluster's k-range is one interval.
+	ix := randomIndex(t, 11, 200, 5, 3, 50)
+	sw, err := NewSweeper(ix, 50, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, D := range []int{1, 2, 3} {
+		ss, err := sw.RunD(D, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		present := map[int32][]int{} // cluster -> state indices where present
+		for si, st := range ss.States {
+			if si > 0 && st.Size >= ss.States[si-1].Size {
+				t.Fatalf("D=%d: sizes not strictly decreasing at state %d", D, si)
+			}
+			for _, id := range st.Clusters {
+				present[id] = append(present[id], si)
+			}
+		}
+		for id, sis := range present {
+			for j := 1; j < len(sis); j++ {
+				if sis[j] != sis[j-1]+1 {
+					t.Fatalf("D=%d: cluster %d present in non-contiguous states %v (continuity violated)", D, id, sis)
+				}
+			}
+		}
+	}
+}
+
+func TestSweepMatchesDirectHybrid(t *testing.T) {
+	// The sweep's recorded state for (k, D) must be a feasible solution for
+	// those parameters with the same coverage semantics.
+	ix := randomIndex(t, 12, 150, 4, 4, 30)
+	kMax := 10
+	sw, err := NewSweeper(ix, 30, kMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, D := range []int{1, 2} {
+		ss, err := sw.RunD(D, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 1; k <= kMax; k++ {
+			st, ok := ss.SolutionFor(k)
+			if !ok {
+				t.Fatalf("no solution for k=%d D=%d", k, D)
+			}
+			clusters := make([]*lattice.Cluster, len(st.Clusters))
+			for i, id := range st.Clusters {
+				clusters[i] = ix.Cluster(id)
+			}
+			sol := &Solution{Clusters: clusters}
+			seen := map[int32]bool{}
+			for _, c := range clusters {
+				for _, t := range c.Cov {
+					if !seen[t] {
+						seen[t] = true
+						sol.Covered = append(sol.Covered, t)
+						sol.Sum += ix.Space.Vals[t]
+					}
+				}
+			}
+			if err := Validate(ix, Params{K: k, L: 30, D: D}, sol); err != nil {
+				t.Errorf("sweep state k=%d D=%d infeasible: %v", k, D, err)
+			}
+			if math.Abs(st.Avg()-sol.Sum/float64(len(sol.Covered))) > 1e-9 {
+				t.Errorf("sweep avg mismatch at k=%d D=%d", k, D)
+			}
+		}
+	}
+}
+
+func TestSweeperValidation(t *testing.T) {
+	ix := randomIndex(t, 13, 40, 4, 3, 10)
+	if _, err := NewSweeper(ix, 0, 5); err == nil {
+		t.Error("L=0: want error")
+	}
+	sw, err := NewSweeper(ix, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.PoolSize() < 1 {
+		t.Error("empty pool")
+	}
+	if _, err := sw.RunD(-1, 1); err == nil {
+		t.Error("D=-1: want error")
+	}
+	if _, err := sw.RunD(99, 1); err == nil {
+		t.Error("D>m: want error")
+	}
+	if _, err := sw.RunD(2, 0); err == nil {
+		t.Error("kMin=0: want error")
+	}
+}
+
+func TestSolutionAvgValueEmpty(t *testing.T) {
+	var s Solution
+	if s.AvgValue() != 0 {
+		t.Error("empty AvgValue != 0")
+	}
+}
+
+func TestRandomizedVariantsFeasibleManySeeds(t *testing.T) {
+	ix := randomIndex(t, 14, 80, 4, 3, 20)
+	p := Params{K: 5, L: 20, D: 2}
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		r, err := RandomFixedOrder(ix, p, WithRand(rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(ix, p, r); err != nil {
+			t.Errorf("random seed=%d infeasible: %v", seed, err)
+		}
+		km, err := KMeansFixedOrder(ix, p, WithRand(rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(ix, p, km); err != nil {
+			t.Errorf("kmeans seed=%d infeasible: %v", seed, err)
+		}
+	}
+}
+
+func TestBottomUpBeatsOrMatchesFixedOrderUsually(t *testing.T) {
+	// The paper reports Bottom-Up generally achieves higher objective values
+	// than Fixed-Order. Check the aggregate relationship over several
+	// random spaces (allowing individual exceptions).
+	wins, losses := 0, 0
+	for seed := int64(0); seed < 10; seed++ {
+		ix := randomIndex(t, 400+seed, 100, 4, 4, 25)
+		p := Params{K: 5, L: 25, D: 2}
+		bu, err := BottomUp(ix, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fo, err := FixedOrder(ix, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case bu.AvgValue() > fo.AvgValue()+1e-12:
+			wins++
+		case fo.AvgValue() > bu.AvgValue()+1e-12:
+			losses++
+		}
+	}
+	if losses > wins {
+		t.Errorf("Bottom-Up lost to Fixed-Order %d-%d across seeds", losses, wins)
+	}
+}
+
+func pow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+		if r > 1<<30 {
+			return 1 << 30
+		}
+	}
+	return r
+}
+
+func TestMinSizeObjectiveCoversFewer(t *testing.T) {
+	// Footnote 5: the Min-Size objective minimizes redundant covered
+	// elements. Across random spaces it should never cover more elements
+	// than Max-Avg at the same parameters, and often strictly fewer.
+	fewer, more := 0, 0
+	for seed := int64(0); seed < 8; seed++ {
+		ix := randomIndex(t, 500+seed, 120, 4, 4, 30)
+		p := Params{K: 4, L: 30, D: 2}
+		maxAvg, err := Hybrid(ix, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		minSize, err := Hybrid(ix, p, WithObjective(MinSize))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(ix, p, minSize); err != nil {
+			t.Fatalf("seed %d: MinSize solution infeasible: %v", seed, err)
+		}
+		switch {
+		case len(minSize.Covered) < len(maxAvg.Covered):
+			fewer++
+		case len(minSize.Covered) > len(maxAvg.Covered):
+			more++
+		}
+	}
+	if more > fewer {
+		t.Errorf("MinSize covered more elements than MaxAvg in %d of 8 seeds (fewer in %d)", more, fewer)
+	}
+}
+
+func TestMinSizeWithBottomUpAndFixedOrder(t *testing.T) {
+	ix := randomIndex(t, 42, 100, 4, 4, 25)
+	p := Params{K: 5, L: 25, D: 2}
+	for _, algo := range []Algorithm{AlgoBottomUp, AlgoFixedOrder} {
+		sol, err := Run(algo, ix, p, WithObjective(MinSize))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(ix, p, sol); err != nil {
+			t.Errorf("%s MinSize infeasible: %v", algo, err)
+		}
+	}
+}
+
+func TestMarginalStaleCacheRecovers(t *testing.T) {
+	// Force the Delta-Judgment cache through its three paths: fresh, one
+	// round stale (incremental update), and more than one round stale (full
+	// rescan). The marginal must match a direct computation each time.
+	ix := randomIndex(t, 77, 60, 4, 4, 20)
+	ws := newWorkset(ix, true)
+	direct := func(c *lattice.Cluster) (float64, int) {
+		var sum float64
+		var cnt int
+		for _, tt := range c.Cov {
+			if !ws.covered.has(tt) {
+				sum += ix.Space.Vals[tt]
+				cnt++
+			}
+		}
+		return sum, cnt
+	}
+	probe := ix.AllStar()
+	check := func(stage string) {
+		t.Helper()
+		wantSum, wantCnt := direct(probe)
+		gotSum, gotCnt := ws.marginal(probe)
+		if gotCnt != wantCnt || math.Abs(gotSum-wantSum) > 1e-9 {
+			t.Fatalf("%s: marginal = (%v, %d), want (%v, %d)", stage, gotSum, gotCnt, wantSum, wantCnt)
+		}
+	}
+	check("fresh")
+	ws.add(ix.Singleton(0))
+	check("one round stale")
+	ws.add(ix.Singleton(1))
+	ws.add(ix.Singleton(2))
+	check("two rounds stale (full rescan)")
+}
+
+func TestBruteForceLTooLarge(t *testing.T) {
+	ix := randomIndex(t, 78, 80, 4, 4, 70)
+	if _, err := BruteForce(ix, Params{K: 70, L: 70, D: 0}); err == nil {
+		t.Error("L > 64 accepted by brute force")
+	}
+}

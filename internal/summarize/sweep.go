@@ -1,0 +1,147 @@
+package summarize
+
+import (
+	"fmt"
+
+	"qagview/internal/lattice"
+)
+
+// Sweeper supports the incremental computation of Section 6.2: the Hybrid
+// algorithm's Fixed-Order phase runs once per L (with a candidate pool sized
+// for the largest k of interest and no distance constraint), and its output
+// is reused as the starting state of the Bottom-Up phase for every (k, D)
+// combination.
+type Sweeper struct {
+	ix   *Index
+	cfg  config
+	kMax int
+	base *workset // state after the shared Fixed-Order phase
+}
+
+// Index aliases lattice.Index to keep signatures in this package short.
+type Index = lattice.Index
+
+// SweepState is one snapshot of the Bottom-Up phase: the solution in effect
+// for every k in [Size, prevSize-1].
+type SweepState struct {
+	// Clusters holds the cluster ids of the solution.
+	Clusters []int32
+	// Size is len(Clusters).
+	Size int
+	// Sum and Count give the objective numerator and denominator.
+	Sum   float64
+	Count int
+}
+
+// Avg returns the objective value of the state.
+func (s *SweepState) Avg() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// SweepStates is the Bottom-Up trace for one D: states in strictly
+// decreasing size order. The solution for a given k is the first state with
+// Size <= k.
+type SweepStates struct {
+	D      int
+	States []SweepState
+}
+
+// SolutionFor returns the state in effect for k, or false if k is below the
+// smallest recorded size.
+func (ss *SweepStates) SolutionFor(k int) (*SweepState, bool) {
+	for i := range ss.States {
+		if ss.States[i].Size <= k {
+			return &ss.States[i], true
+		}
+	}
+	return nil, false
+}
+
+// NewSweeper runs the shared Fixed-Order phase for coverage L with a
+// candidate pool of c*kMax clusters and no distance constraint, returning a
+// sweeper whose RunD replays the Bottom-Up phase per D.
+func NewSweeper(ix *Index, L, kMax int, opts ...Option) (*Sweeper, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.hybridC < 1 {
+		cfg.hybridC = 1
+	}
+	p := Params{K: kMax * cfg.hybridC, L: L, D: 0}
+	if err := p.Validate(ix); err != nil {
+		return nil, err
+	}
+	ws := newWorkset(ix, cfg.delta)
+	ws.obj = cfg.obj
+	if err := fixedOrderPhase(ws, p, nil); err != nil {
+		return nil, err
+	}
+	return &Sweeper{ix: ix, cfg: cfg, kMax: kMax, base: ws}, nil
+}
+
+// PoolSize returns the number of clusters after the shared phase.
+func (sw *Sweeper) PoolSize() int { return sw.base.size() }
+
+// RunD replays the Bottom-Up phase for one distance constraint D from the
+// shared state: first enforcing pairwise distance, then merging down to
+// kMin, recording a state after enforcement and after every merge. The
+// returned states obey the continuity property (Proposition 6.1): once a
+// cluster disappears it never reappears, so each cluster's ks form one
+// interval.
+func (sw *Sweeper) RunD(D, kMin int) (*SweepStates, error) {
+	if D < 0 || D > sw.ix.Space.M() {
+		return nil, fmt.Errorf("summarize: D = %d out of range [0, %d]", D, sw.ix.Space.M())
+	}
+	if kMin < 1 {
+		return nil, fmt.Errorf("summarize: kMin = %d, want >= 1", kMin)
+	}
+	ws := sw.base.clone()
+	ps := newPairSet(ws)
+	// Phase 1: enforce distance D.
+	for {
+		pi, ok := ps.best(func(d int) bool { return d < D }, ws.evalAdd)
+		if !ok {
+			break
+		}
+		if err := ps.merge(pi); err != nil {
+			return nil, err
+		}
+	}
+	out := &SweepStates{D: D}
+	snapshot := func() {
+		st := SweepState{Size: ws.size(), Sum: ws.sum, Count: ws.cnt}
+		st.Clusters = sortedIDs(ws)
+		out.States = append(out.States, st)
+	}
+	snapshot()
+	// Phase 2: merge down to kMin, one state per strictly smaller size.
+	for ws.size() > kMin {
+		pi, ok := ps.best(nil, ws.evalAdd)
+		if !ok {
+			break
+		}
+		if err := ps.merge(pi); err != nil {
+			return nil, err
+		}
+		snapshot()
+	}
+	return out, nil
+}
+
+// clone copies the mutable solution state (clusters, coverage, objective)
+// with a fresh Delta-Judgment cache, so per-D replays are independent.
+func (ws *workset) clone() *workset {
+	c := newWorkset(ws.ix, ws.delta)
+	c.obj = ws.obj
+	for id, cl := range ws.clusters {
+		c.clusters[id] = cl
+	}
+	c.covered = ws.covered.clone()
+	c.sum = ws.sum
+	c.cnt = ws.cnt
+	return c
+}

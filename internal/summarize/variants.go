@@ -1,0 +1,140 @@
+package summarize
+
+import (
+	"fmt"
+
+	"qagview/internal/kmodes"
+	"qagview/internal/lattice"
+	"qagview/internal/pattern"
+)
+
+// RandomFixedOrder is the random-Fixed-Order variant of Section 5.2: pick k
+// elements at random from the top L and process their singleton clusters
+// first, then all top-L elements in descending value order.
+func RandomFixedOrder(ix *lattice.Index, p Params, opts ...Option) (*Solution, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := p.Validate(ix); err != nil {
+		return nil, err
+	}
+	rng := cfg.rng
+	if rng == nil {
+		return nil, fmt.Errorf("summarize: RandomFixedOrder requires WithRand")
+	}
+	k := p.K
+	if k > p.L {
+		k = p.L
+	}
+	seeds := make([]*lattice.Cluster, 0, k)
+	for _, rank := range rng.Perm(p.L)[:k] {
+		seeds = append(seeds, ix.Singleton(rank))
+	}
+	ws := newWorkset(ix, cfg.delta)
+	ws.obj = cfg.obj
+	if err := fixedOrderPhase(ws, p, seeds); err != nil {
+		return nil, err
+	}
+	return finish(ws, &cfg), nil
+}
+
+// KMeansFixedOrder is the k-means-Fixed-Order variant of Section 5.2: run
+// k-modes clustering (categorical k-means with random seeding) on the top-L
+// elements, compute the minimum pattern covering each resulting cluster, and
+// process those k patterns before the top-L elements.
+func KMeansFixedOrder(ix *lattice.Index, p Params, opts ...Option) (*Solution, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := p.Validate(ix); err != nil {
+		return nil, err
+	}
+	rng := cfg.rng
+	if rng == nil {
+		return nil, fmt.Errorf("summarize: KMeansFixedOrder requires WithRand")
+	}
+	topL := make([][]int32, p.L)
+	for rank := 0; rank < p.L; rank++ {
+		topL[rank] = ix.Space.Tuples[rank]
+	}
+	km, err := kmodes.Cluster(topL, p.K, rng, 50)
+	if err != nil {
+		return nil, err
+	}
+	var seeds []*lattice.Cluster
+	for _, members := range km.Members() {
+		if len(members) == 0 {
+			continue
+		}
+		// Minimum pattern covering all members: iterated LCA.
+		pat := pattern.FromTuple(topL[members[0]])
+		for _, mi := range members[1:] {
+			pattern.LCAInto(pat, pat, pattern.FromTuple(topL[mi]))
+		}
+		c, ok := ix.Lookup(pat)
+		if !ok {
+			// The LCA of top-L tuples is an ancestor of a top-L tuple, so it
+			// is always generated.
+			return nil, fmt.Errorf("summarize: k-modes seed %v missing from index", pat)
+		}
+		seeds = append(seeds, c)
+	}
+	ws := newWorkset(ix, cfg.delta)
+	ws.obj = cfg.obj
+	if err := fixedOrderPhase(ws, p, seeds); err != nil {
+		return nil, err
+	}
+	return finish(ws, &cfg), nil
+}
+
+// Algorithm names the summarization algorithms for table-driven callers
+// (CLI, experiments).
+type Algorithm string
+
+// The supported algorithms.
+const (
+	AlgoBottomUp           Algorithm = "bottom-up"
+	AlgoFixedOrder         Algorithm = "fixed-order"
+	AlgoHybrid             Algorithm = "hybrid"
+	AlgoBruteForce         Algorithm = "brute-force"
+	AlgoRandomFixedOrder   Algorithm = "random-fixed-order"
+	AlgoKMeansFixedOrder   Algorithm = "kmeans-fixed-order"
+	AlgoBottomUpMaxLCA     Algorithm = "bottom-up-max-lca"
+	AlgoBottomUpLevelStart Algorithm = "bottom-up-level-start"
+)
+
+// Run dispatches by algorithm name. The randomized variants need WithRand;
+// see the individual functions.
+func Run(algo Algorithm, ix *lattice.Index, p Params, opts ...Option) (*Solution, error) {
+	switch algo {
+	case AlgoBottomUp:
+		return BottomUp(ix, p, opts...)
+	case AlgoFixedOrder:
+		return FixedOrder(ix, p, opts...)
+	case AlgoHybrid:
+		return Hybrid(ix, p, opts...)
+	case AlgoBruteForce:
+		return BruteForce(ix, p)
+	case AlgoRandomFixedOrder:
+		return RandomFixedOrder(ix, p, opts...)
+	case AlgoKMeansFixedOrder:
+		return KMeansFixedOrder(ix, p, opts...)
+	case AlgoBottomUpMaxLCA:
+		return BottomUpMaxLCA(ix, p, opts...)
+	case AlgoBottomUpLevelStart:
+		return BottomUpLevelStart(ix, p, opts...)
+	default:
+		return nil, fmt.Errorf("summarize: unknown algorithm %q", algo)
+	}
+}
+
+// Algorithms lists the supported algorithm names.
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		AlgoBottomUp, AlgoFixedOrder, AlgoHybrid, AlgoBruteForce,
+		AlgoRandomFixedOrder, AlgoKMeansFixedOrder,
+		AlgoBottomUpMaxLCA, AlgoBottomUpLevelStart,
+	}
+}

@@ -1,0 +1,177 @@
+package summarize
+
+import (
+	"sort"
+
+	"qagview/internal/lattice"
+)
+
+// workset is the mutable solution state shared by the greedy algorithms: the
+// current cluster set, the covered-tuple bitmap with its running sum and
+// count, and the Delta-Judgment cache (Algorithm 2 in the paper) that lets
+// candidate evaluations reuse marginal-benefit computations from previous
+// rounds.
+type workset struct {
+	ix    *lattice.Index
+	delta bool
+	obj   Objective
+
+	clusters map[int32]*lattice.Cluster // current solution, by cluster id
+	covered  bitset
+	sum      float64
+	cnt      int
+
+	round     int     // merge round counter; advances on every mutation
+	lastDelta []int32 // tuples newly covered in the previous round, ascending
+
+	cache map[int32]*deltaEntry // candidate cluster id -> cached marginals
+
+	// evalFull counts full coverage scans, for the Figure 8b ablation.
+	evalFull int
+	// evalDelta counts delta-updated evaluations.
+	evalDelta int
+}
+
+// deltaEntry caches, for a candidate cluster c, the sum and count of tuples
+// in cov(c) that were NOT covered by the solution as of round asOf.
+type deltaEntry struct {
+	asOf int
+	dsum float64
+	dcnt int
+}
+
+func newWorkset(ix *lattice.Index, useDelta bool) *workset {
+	return &workset{
+		ix:       ix,
+		delta:    useDelta,
+		clusters: make(map[int32]*lattice.Cluster),
+		covered:  newBitset(ix.Space.N()),
+		cache:    make(map[int32]*deltaEntry),
+	}
+}
+
+// size returns the number of clusters in the current solution.
+func (ws *workset) size() int { return len(ws.clusters) }
+
+// avg returns the current objective value.
+func (ws *workset) avg() float64 {
+	if ws.cnt == 0 {
+		return 0
+	}
+	return ws.sum / float64(ws.cnt)
+}
+
+// marginal returns the sum and count of tuples in cov(c) not yet covered.
+// With Delta-Judgment enabled it reuses the cached marginals when they are at
+// most one round stale, subtracting the contribution of the tuples that were
+// newly covered last round (the list T_j \ T_{j-1} of Algorithm 2); otherwise
+// it falls back to a full scan of cov(c) against the coverage bitmap.
+func (ws *workset) marginal(c *lattice.Cluster) (dsum float64, dcnt int) {
+	if ws.delta {
+		if e, ok := ws.cache[c.ID]; ok {
+			switch {
+			case e.asOf == ws.round:
+				ws.evalDelta++
+				return e.dsum, e.dcnt
+			case e.asOf == ws.round-1:
+				// Subtract tuples covered last round that c also covers.
+				for _, t := range ws.lastDelta {
+					if containsSorted(c.Cov, t) {
+						e.dsum -= ws.ix.Space.Vals[t]
+						e.dcnt--
+					}
+				}
+				e.asOf = ws.round
+				ws.evalDelta++
+				return e.dsum, e.dcnt
+			}
+		}
+	}
+	ws.evalFull++
+	for _, t := range c.Cov {
+		if !ws.covered.has(t) {
+			dsum += ws.ix.Space.Vals[t]
+			dcnt++
+		}
+	}
+	if ws.delta {
+		ws.cache[c.ID] = &deltaEntry{asOf: ws.round, dsum: dsum, dcnt: dcnt}
+	}
+	return dsum, dcnt
+}
+
+// evalAdd returns the objective value of the solution if cluster c were
+// added (covering its uncovered tuples), per the tentative-value formula of
+// Section 6.3. Under the MinSize objective, fewer total covered elements is
+// better, so the score is the negated tentative coverage count.
+func (ws *workset) evalAdd(c *lattice.Cluster) float64 {
+	dsum, dcnt := ws.marginal(c)
+	if ws.obj == MinSize {
+		return -float64(ws.cnt + dcnt)
+	}
+	if ws.cnt+dcnt == 0 {
+		return 0
+	}
+	return (ws.sum + dsum) / float64(ws.cnt+dcnt)
+}
+
+// containsSorted reports whether the ascending slice cov contains t.
+func containsSorted(cov []int32, t int32) bool {
+	i := sort.Search(len(cov), func(i int) bool { return cov[i] >= t })
+	return i < len(cov) && cov[i] == t
+}
+
+// add inserts cluster c into the solution, removing any existing clusters
+// that c covers (the Merge procedure's incomparability maintenance), and
+// extends the covered set. It returns the ids of removed clusters.
+func (ws *workset) add(c *lattice.Cluster) (removed []int32) {
+	for id, old := range ws.clusters {
+		if id != c.ID && c.Pat.Covers(old.Pat) {
+			removed = append(removed, id)
+			delete(ws.clusters, id)
+		}
+	}
+	ws.clusters[c.ID] = c
+	var newly []int32
+	for _, t := range c.Cov {
+		if !ws.covered.has(t) {
+			ws.covered.set(t)
+			ws.sum += ws.ix.Space.Vals[t]
+			ws.cnt++
+			newly = append(newly, t)
+		}
+	}
+	ws.round++
+	ws.lastDelta = newly
+	return removed
+}
+
+// merge replaces clusters a and b (both in the solution) by their LCA
+// cluster, removing any other clusters the LCA covers. It returns the new
+// cluster and all removed ids.
+func (ws *workset) merge(a, b *lattice.Cluster) (*lattice.Cluster, []int32, error) {
+	lca, err := ws.ix.LCACluster(a, b)
+	if err != nil {
+		return nil, nil, err
+	}
+	removed := ws.add(lca) // covers a and b, so both are removed
+	return lca, removed, nil
+}
+
+// solution snapshots the current state as a Solution.
+func (ws *workset) solution() *Solution {
+	out := make([]*lattice.Cluster, 0, len(ws.clusters))
+	for _, c := range ws.clusters {
+		out = append(out, c)
+	}
+	return newSolution(ws.ix, out)
+}
+
+// clusterList returns the current clusters in unspecified order.
+func (ws *workset) clusterList() []*lattice.Cluster {
+	out := make([]*lattice.Cluster, 0, len(ws.clusters))
+	for _, c := range ws.clusters {
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+// Package tpcds generates a synthetic TPC-DS-like store_sales table, the
+// scalability workload of Section 7.4 of the paper. The official TPC-DS
+// generator is unavailable offline, so this package produces a 23-attribute
+// sales fact table (customer demographics, store, item, date dimensions
+// denormalized, plus a net_profit measure) whose aggregate query output
+// sizes match the paper's setting (N ≈ 47,361 groups for the reported
+// configuration).
+package tpcds
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"qagview/internal/relation"
+)
+
+// Config sizes the synthetic table.
+type Config struct {
+	Rows int
+	Seed int64
+}
+
+// DefaultConfig generates 500,000 fact rows; the paper's store_sales has
+// 2,880,404, but the summarization experiments depend only on the aggregate
+// output size N, which the queries below control.
+func DefaultConfig() Config { return Config{Rows: 500_000, Seed: 7} }
+
+// GroupingAttrs lists grouping attributes in the order used when varying m.
+var GroupingAttrs = []string{
+	"cd_gender", "cd_marital_status", "cd_education", "i_category",
+	"cd_credit_rating", "s_state", "d_quarter", "d_year",
+	"i_class", "d_weekday",
+}
+
+var (
+	genders        = []string{"M", "F"}
+	maritalStatus  = []string{"S", "M", "D", "W", "U"}
+	educations     = []string{"primary", "secondary", "college", "2yrdegree", "4yrdegree", "advanced", "unknown"}
+	creditRatings  = []string{"low", "good", "highrisk", "unknown"}
+	states         = []string{"TN", "GA", "SC", "NC", "AL", "KY", "VA", "FL", "TX", "OH"}
+	categories     = []string{"books", "electronics", "home", "jewelry", "men", "music", "shoes", "sports", "toys", "women"}
+	classes        = []string{"c01", "c02", "c03", "c04", "c05", "c06", "c07", "c08"}
+	brands         = []string{"b1", "b2", "b3", "b4", "b5", "b6", "b7", "b8", "b9", "b10"}
+	colors         = []string{"red", "blue", "green", "black", "white", "yellow"}
+	sizes          = []string{"small", "medium", "large", "xl"}
+	weekdaysVocab  = []string{"mon", "tue", "wed", "thu", "fri", "sat", "sun"}
+	quartersVocab  = []string{"Q1", "Q2", "Q3", "Q4"}
+	promosVocab    = []string{"none", "tv", "radio", "web", "mail"}
+	countiesVocab  = []string{"county1", "county2", "county3", "county4", "county5"}
+	shiftsVocab    = []string{"morning", "afternoon", "evening"}
+	channelsVocab  = []string{"store", "kiosk"}
+	depCountVocab  = []int64{0, 1, 2, 3, 4}
+	storeIDsDomain = 12
+)
+
+// Generate builds the store_sales table deterministically from cfg.
+func Generate(cfg Config) (*relation.Relation, error) {
+	if cfg.Rows < 1 {
+		return nil, fmt.Errorf("tpcds: non-positive row count %d", cfg.Rows)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Rows
+	pick := func(vocab []string) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = vocab[rng.Intn(len(vocab))]
+		}
+		return out
+	}
+	// Draw correlated columns row-wise for the planted profit structure.
+	gender := make([]string, n)
+	marital := make([]string, n)
+	education := make([]string, n)
+	credit := make([]string, n)
+	category := make([]string, n)
+	class := make([]string, n)
+	state := make([]string, n)
+	quarter := make([]string, n)
+	yearCol := make([]int64, n)
+	profit := make([]float64, n)
+	quantity := make([]int64, n)
+	listPrice := make([]float64, n)
+	salesPrice := make([]float64, n)
+	for i := 0; i < n; i++ {
+		g := genders[rng.Intn(2)]
+		ms := maritalStatus[rng.Intn(len(maritalStatus))]
+		ed := educations[rng.Intn(len(educations))]
+		cr := creditRatings[rng.Intn(len(creditRatings))]
+		cat := categories[rng.Intn(len(categories))]
+		cl := classes[rng.Intn(len(classes))]
+		st := states[rng.Intn(len(states))]
+		q := quartersVocab[rng.Intn(4)]
+		year := 1998 + int64(rng.Intn(6))
+		qty := int64(1 + rng.Intn(10))
+		lp := 5 + rng.Float64()*95
+		sp := lp * (0.5 + rng.Float64()*0.5)
+
+		// Planted structure: electronics and jewelry bought by advanced-
+		// degree, good-credit customers in Q4 are high-profit; books in Q1
+		// for low-credit are loss leaders.
+		p := (sp - lp*0.7) * float64(qty)
+		if (cat == "electronics" || cat == "jewelry") && ed == "advanced" && cr == "good" {
+			p += 40
+		}
+		if cat == "jewelry" && q == "Q4" {
+			p += 25
+		}
+		if cat == "books" && cr == "low" {
+			p -= 30
+		}
+		if st == "TN" || st == "GA" {
+			p += 5
+		}
+		p += rng.NormFloat64() * 20
+		p = math.Round(p*100) / 100
+
+		gender[i], marital[i], education[i], credit[i] = g, ms, ed, cr
+		category[i], class[i], state[i], quarter[i] = cat, cl, st, q
+		yearCol[i], quantity[i], listPrice[i], salesPrice[i], profit[i] = year, qty, lp, sp, p
+	}
+	storeID := make([]int64, n)
+	for i := range storeID {
+		storeID[i] = int64(1 + rng.Intn(storeIDsDomain))
+	}
+	depCount := make([]int64, n)
+	for i := range depCount {
+		depCount[i] = depCountVocab[rng.Intn(len(depCountVocab))]
+	}
+
+	return relation.FromColumns("store_sales",
+		relation.StringCol("cd_gender", gender),
+		relation.StringCol("cd_marital_status", marital),
+		relation.StringCol("cd_education", education),
+		relation.StringCol("cd_credit_rating", credit),
+		relation.IntCol("cd_dep_count", depCount),
+		relation.StringCol("i_category", category),
+		relation.StringCol("i_class", class),
+		relation.StringCol("i_brand", pick(brands)),
+		relation.StringCol("i_color", pick(colors)),
+		relation.StringCol("i_size", pick(sizes)),
+		relation.IntCol("s_store_id", storeID),
+		relation.StringCol("s_state", state),
+		relation.StringCol("s_county", pick(countiesVocab)),
+		relation.IntCol("d_year", yearCol),
+		relation.StringCol("d_quarter", quarter),
+		relation.StringCol("d_weekday", pick(weekdaysVocab)),
+		relation.StringCol("d_shift", pick(shiftsVocab)),
+		relation.StringCol("p_promo", pick(promosVocab)),
+		relation.StringCol("s_channel", pick(channelsVocab)),
+		relation.IntCol("ss_quantity", quantity),
+		relation.FloatCol("ss_list_price", listPrice),
+		relation.FloatCol("ss_sales_price", salesPrice),
+		relation.FloatCol("net_profit", profit),
+	)
+}
+
+// Query renders the paper's TPC-DS aggregate template (Appendix A.8) over
+// the first m grouping attributes:
+//
+//	SELECT <attrs>, avg(net_profit) AS val FROM store_sales
+//	GROUP BY <attrs> HAVING count(*) > minCount ORDER BY val DESC
+func Query(m, minCount int) (string, error) {
+	if m < 1 || m > len(GroupingAttrs) {
+		return "", fmt.Errorf("tpcds: m = %d out of range [1, %d]", m, len(GroupingAttrs))
+	}
+	attrs := ""
+	for i := 0; i < m; i++ {
+		if i > 0 {
+			attrs += ", "
+		}
+		attrs += GroupingAttrs[i]
+	}
+	q := "SELECT " + attrs + ", avg(net_profit) AS val FROM store_sales GROUP BY " + attrs
+	if minCount > 0 {
+		q += fmt.Sprintf(" HAVING count(*) > %d", minCount)
+	}
+	q += " ORDER BY val DESC"
+	return q, nil
+}

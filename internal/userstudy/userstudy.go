@@ -1,0 +1,378 @@
+// Package userstudy simulates the paper's user study (Section 8). Human
+// subjects are unavailable here, so subjects are modeled programmatically:
+// a subject classifies hidden-value tuples into top / high / low using the
+// rule set they were shown, with (a) a memorability model in which each rule
+// is recalled with probability decaying exponentially in its complexity —
+// the mechanism the paper identifies behind decision trees' memory-only
+// collapse — and (b) a time model charging for each rule examined, weighted
+// by its complexity. The harness reproduces the structure of Table 1:
+// three sections (patterns-only, memory-only, patterns+members) per task
+// group, with T-accuracy and TH-accuracy.
+package userstudy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"qagview/internal/dtree"
+	"qagview/internal/lattice"
+	"qagview/internal/summarize"
+)
+
+// Category is the classification target of each question.
+type Category int
+
+// The three categories of Section 8.1.
+const (
+	CatTop Category = iota
+	CatHigh
+	CatLow
+)
+
+// Section is one question block of a task group.
+type Section int
+
+// The three sections of Section 8.1.
+const (
+	PatternsOnly Section = iota
+	MemoryOnly
+	PatternsMembers
+)
+
+// String names the section as in Table 1.
+func (s Section) String() string {
+	switch s {
+	case PatternsOnly:
+		return "Patterns-only"
+	case MemoryOnly:
+		return "Memory-only"
+	case PatternsMembers:
+		return "Patterns+members"
+	default:
+		return fmt.Sprintf("Section(%d)", int(s))
+	}
+}
+
+// Rule is one displayed cluster/pattern from the subject's point of view.
+type Rule struct {
+	// Matches reports whether the rule's pattern covers the tuple.
+	Matches func(t []int32) bool
+	// Complexity drives the memorability and time models (non-* literals for
+	// our patterns; conditions with negation surcharge for decision trees).
+	Complexity int
+	// MeanVal is the displayed average value of the rule's members.
+	MeanVal float64
+	// Members lists covered tuple indices (used in the patterns+members
+	// section); nil when membership is not displayed.
+	Members []int32
+}
+
+// RuleSet is what a subject works with during one task group.
+type RuleSet struct {
+	Name  string
+	Rules []Rule
+}
+
+// FromSolution converts the paper's cluster output into a subject-facing
+// rule set.
+func FromSolution(ix *lattice.Index, sol *summarize.Solution) RuleSet {
+	rs := RuleSet{Name: "our method"}
+	for _, c := range sol.Clusters {
+		pat := c.Pat
+		rs.Rules = append(rs.Rules, Rule{
+			Matches:    func(t []int32) bool { return pat.CoversTuple(t) },
+			Complexity: ix.Space.M() - pat.Level(),
+			MeanVal:    c.Avg(),
+			Members:    c.Cov,
+		})
+	}
+	return rs
+}
+
+// FromDecisionTree converts the positive leaves of the adapted decision tree
+// into a rule set. Members are computed against the space.
+func FromDecisionTree(space *lattice.Space, tree *dtree.Tree) RuleSet {
+	rs := RuleSet{Name: "decision tree"}
+	for _, r := range tree.PositiveRules() {
+		r := r
+		var members []int32
+		for ti, tup := range space.Tuples {
+			if r.Matches(tup) {
+				members = append(members, int32(ti))
+			}
+		}
+		rs.Rules = append(rs.Rules, Rule{
+			Matches:    func(t []int32) bool { return r.Matches(t) },
+			Complexity: r.Complexity(),
+			MeanVal:    r.MeanVal,
+			Members:    members,
+		})
+	}
+	return rs
+}
+
+// Config parameterizes the simulation.
+type Config struct {
+	// Subjects is the number of simulated participants (16 in the paper).
+	Subjects int
+	// Questions per section (the paper uses 6/6/8).
+	Questions int
+	// Beta is the memory-decay rate: recall probability = exp(-Beta *
+	// complexity).
+	Beta float64
+	// Noise is the std-dev of the subject's value-estimation error, in value
+	// units.
+	Noise float64
+	// Seed makes the simulation reproducible.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's study shape.
+func DefaultConfig() Config {
+	return Config{Subjects: 16, Questions: 6, Beta: 0.22, Noise: 0.25, Seed: 1}
+}
+
+// Outcome aggregates one section's metrics over subjects, as one cell block
+// of Table 1.
+type Outcome struct {
+	TimeMean, TimeStd float64 // seconds per question
+	TAcc, TAccStd     float64
+	THAcc, THAccStd   float64
+}
+
+// Report maps sections to outcomes for one rule set.
+type Report map[Section]Outcome
+
+// GroundTruth computes the category of each tuple: top if rank < L, high if
+// value >= the overall average, low otherwise (Section 8.1).
+func GroundTruth(space *lattice.Space, L int) []Category {
+	overall := 0.0
+	for _, v := range space.Vals {
+		overall += v
+	}
+	overall /= float64(space.N())
+	cats := make([]Category, space.N())
+	for i := range cats {
+		switch {
+		case i < L:
+			cats[i] = CatTop
+		case space.Vals[i] >= overall:
+			cats[i] = CatHigh
+		default:
+			cats[i] = CatLow
+		}
+	}
+	return cats
+}
+
+// Simulate runs the study for one rule set and returns the per-section
+// outcomes.
+func Simulate(space *lattice.Space, L int, rs RuleSet, cfg Config) (Report, error) {
+	if cfg.Subjects < 1 || cfg.Questions < 1 {
+		return nil, fmt.Errorf("userstudy: non-positive subjects/questions in %+v", cfg)
+	}
+	if L < 1 || L > space.N() {
+		return nil, fmt.Errorf("userstudy: L = %d out of range [1, %d]", L, space.N())
+	}
+	if len(rs.Rules) == 0 {
+		return nil, fmt.Errorf("userstudy: empty rule set")
+	}
+	truth := GroundTruth(space, L)
+	// The top-value threshold subjects calibrate against: the L-th value.
+	topThreshold := space.Vals[L-1]
+	overall := 0.0
+	for _, v := range space.Vals {
+		overall += v
+	}
+	overall /= float64(space.N())
+
+	rep := Report{}
+	for _, sec := range []Section{PatternsOnly, MemoryOnly, PatternsMembers} {
+		var times, taccs, thaccs []float64
+		for subj := 0; subj < cfg.Subjects; subj++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(subj)*7919 + int64(sec)*104729))
+			qs := sampleQuestions(rng, truth, cfg.Questions)
+			tSum := 0.0
+			tOK, thOK := 0, 0
+			for _, q := range qs {
+				guess, secs := answer(rng, space, rs, sec, q, topThreshold, overall, cfg)
+				tSum += secs
+				want := truth[q]
+				if (guess == CatTop) == (want == CatTop) {
+					tOK++
+				}
+				if (guess != CatLow) == (want != CatLow) {
+					thOK++
+				}
+			}
+			times = append(times, tSum/float64(len(qs)))
+			taccs = append(taccs, float64(tOK)/float64(len(qs)))
+			thaccs = append(thaccs, float64(thOK)/float64(len(qs)))
+		}
+		rep[sec] = Outcome{
+			TimeMean: mean(times), TimeStd: std(times),
+			TAcc: mean(taccs), TAccStd: std(taccs),
+			THAcc: mean(thaccs), THAccStd: std(thaccs),
+		}
+	}
+	return rep, nil
+}
+
+// sampleQuestions draws questions balanced across categories, as the study
+// does ("chosen randomly and evenly across the top, high, and low
+// categories").
+func sampleQuestions(rng *rand.Rand, truth []Category, n int) []int {
+	byCat := map[Category][]int{}
+	for i, c := range truth {
+		byCat[c] = append(byCat[c], i)
+	}
+	var qs []int
+	cats := []Category{CatTop, CatHigh, CatLow}
+	for len(qs) < n {
+		c := cats[len(qs)%3]
+		pool := byCat[c]
+		if len(pool) == 0 {
+			pool = byCat[CatLow]
+		}
+		if len(pool) == 0 {
+			pool = byCat[CatTop]
+		}
+		qs = append(qs, pool[rng.Intn(len(pool))])
+	}
+	return qs
+}
+
+// answer simulates one subject answering one question under a section's
+// information regime, returning the guess and the time taken in seconds.
+func answer(rng *rand.Rand, space *lattice.Space, rs RuleSet, sec Section, q int,
+	topThreshold, overall float64, cfg Config) (Category, float64) {
+	tup := space.Tuples[q]
+
+	// Which rules can the subject consult?
+	avail := rs.Rules
+	if sec == MemoryOnly {
+		var recalled []Rule
+		for _, r := range avail {
+			if rng.Float64() < math.Exp(-cfg.Beta*float64(r.Complexity)) {
+				recalled = append(recalled, r)
+			}
+		}
+		avail = recalled
+	}
+
+	// Time model: a base cost plus a per-rule examination cost scaled by
+	// complexity; membership inspection adds a per-member skim cost.
+	secs := 3.0 + rng.NormFloat64()*0.5
+	perRule := 1.6
+	if sec == MemoryOnly {
+		perRule = 0.7 // recalling is faster than reading
+	}
+	for _, r := range avail {
+		secs += perRule * (0.5 + 0.25*float64(r.Complexity)) * (0.8 + rng.Float64()*0.4)
+	}
+
+	// Membership lookup is near-authoritative.
+	if sec == PatternsMembers {
+		for _, r := range avail {
+			secs += 0.02 * float64(len(r.Members))
+			for _, m := range r.Members {
+				if int(m) == q {
+					// Subject sees the tuple listed with its neighbors and
+					// classifies almost perfectly.
+					if rng.Float64() < 0.96 {
+						return truthCategory(space, q, topThreshold, overall), secs
+					}
+					return perturb(rng, truthCategory(space, q, topThreshold, overall)), secs
+				}
+			}
+		}
+		// Not a member of any shown cluster: the subject reasons it is
+		// outside the summarized high region.
+		if rng.Float64() < 0.85 {
+			return truthIfNotCovered(space, q, overall), secs
+		}
+		return CatLow, secs
+	}
+
+	// Pattern-based estimation: use the best matching rule's displayed mean.
+	est := math.Inf(-1)
+	matched := false
+	for _, r := range avail {
+		if r.Matches(tup) {
+			matched = true
+			if r.MeanVal > est {
+				est = r.MeanVal
+			}
+		}
+	}
+	if !matched {
+		// No matching rule: guess from the prior that uncovered tuples are
+		// usually not top; mistakes happen.
+		roll := rng.Float64()
+		switch {
+		case roll < 0.62:
+			return CatLow, secs
+		case roll < 0.9:
+			return CatHigh, secs
+		default:
+			return CatTop, secs
+		}
+	}
+	est += rng.NormFloat64() * cfg.Noise
+	switch {
+	case est >= topThreshold:
+		return CatTop, secs
+	case est >= overall:
+		return CatHigh, secs
+	default:
+		return CatLow, secs
+	}
+}
+
+func truthCategory(space *lattice.Space, q int, topThreshold, overall float64) Category {
+	switch {
+	case space.Vals[q] >= topThreshold:
+		return CatTop
+	case space.Vals[q] >= overall:
+		return CatHigh
+	default:
+		return CatLow
+	}
+}
+
+// truthIfNotCovered models the subject's good but imperfect inference for
+// tuples outside all clusters: they are usually high-or-low, not top.
+func truthIfNotCovered(space *lattice.Space, q int, overall float64) Category {
+	if space.Vals[q] >= overall {
+		return CatHigh
+	}
+	return CatLow
+}
+
+func perturb(rng *rand.Rand, c Category) Category {
+	if rng.Float64() < 0.5 && c != CatLow {
+		return c + 1
+	}
+	if c != CatTop {
+		return c - 1
+	}
+	return CatHigh
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func std(xs []float64) float64 {
+	m := mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}

@@ -1,0 +1,216 @@
+package userstudy
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"qagview/internal/dtree"
+	"qagview/internal/lattice"
+	"qagview/internal/summarize"
+)
+
+func studySpace(t *testing.T) (*lattice.Space, *lattice.Index) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	rows := make([][]string, 0, 120)
+	vals := make([]float64, 0, 120)
+	seen := map[string]bool{}
+	for len(rows) < 120 {
+		row := make([]string, 4)
+		key := ""
+		boost := 0.0
+		for j := range row {
+			v := rng.Intn(4)
+			row[j] = fmt.Sprintf("v%d_%d", j, v)
+			key += row[j]
+			if v == 0 && j < 2 {
+				boost++
+			}
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		rows = append(rows, row)
+		vals = append(vals, rng.Float64()+boost)
+	}
+	s, err := lattice.NewSpace([]string{"a", "b", "c", "d"}, rows, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := lattice.BuildIndex(s, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ix
+}
+
+func ruleSets(t *testing.T) (*lattice.Space, RuleSet, RuleSet) {
+	t.Helper()
+	s, ix := studySpace(t)
+	sol, err := summarize.Hybrid(ix, summarize.Params{K: 8, L: 30, D: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours := FromSolution(ix, sol)
+
+	labels := make([]bool, s.N())
+	for i := range labels {
+		labels[i] = i < 30
+	}
+	tuples := make([][]int32, s.N())
+	for i := range tuples {
+		tuples[i] = s.Tuples[i]
+	}
+	tree, err := dtree.TuneK(tuples, labels, s.Vals, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := FromDecisionTree(s, tree)
+	if len(dt.Rules) == 0 {
+		t.Fatal("decision tree produced no positive rules")
+	}
+	return s, ours, dt
+}
+
+func TestGroundTruthPartition(t *testing.T) {
+	s, _ := studySpace(t)
+	cats := GroundTruth(s, 30)
+	nTop := 0
+	for i, c := range cats {
+		if i < 30 && c != CatTop {
+			t.Fatalf("rank %d not top", i)
+		}
+		if c == CatTop {
+			nTop++
+		}
+	}
+	if nTop != 30 {
+		t.Errorf("top count = %d", nTop)
+	}
+	// Highs have value >= overall mean, lows below.
+	overall := 0.0
+	for _, v := range s.Vals {
+		overall += v
+	}
+	overall /= float64(s.N())
+	for i, c := range cats {
+		if i < 30 {
+			continue
+		}
+		if (s.Vals[i] >= overall) != (c == CatHigh) {
+			t.Fatalf("rank %d categorized %v with val %v vs overall %v", i, c, s.Vals[i], overall)
+		}
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	s, ours, _ := ruleSets(t)
+	if _, err := Simulate(s, 30, ours, Config{Subjects: 0, Questions: 5, Seed: 1}); err == nil {
+		t.Error("0 subjects accepted")
+	}
+	if _, err := Simulate(s, 0, ours, DefaultConfig()); err == nil {
+		t.Error("L=0 accepted")
+	}
+	if _, err := Simulate(s, 30, RuleSet{}, DefaultConfig()); err == nil {
+		t.Error("empty rules accepted")
+	}
+}
+
+func TestSimulateIsDeterministic(t *testing.T) {
+	s, ours, _ := ruleSets(t)
+	a, err := Simulate(s, 30, ours, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(s, 30, ours, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sec := range a {
+		if a[sec] != b[sec] {
+			t.Fatalf("section %v nondeterministic: %+v vs %+v", sec, a[sec], b[sec])
+		}
+	}
+}
+
+// TestTable1Shape verifies the qualitative findings of Table 1 hold in the
+// simulation: (1) patterns+members is the most accurate section; (2) our
+// method's memory-only accuracy degrades little relative to patterns-only,
+// while the decision tree's drops more (simple patterns are memorable);
+// (3) accuracies are in [0, 1] and times positive.
+func TestTable1Shape(t *testing.T) {
+	s, ours, dt := ruleSets(t)
+	cfg := DefaultConfig()
+	cfg.Subjects = 24
+	ourRep, err := Simulate(s, 30, ours, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dtRep, err := Simulate(s, 30, dt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, rep := range map[string]Report{"ours": ourRep, "dtree": dtRep} {
+		for sec, o := range rep {
+			if o.TAcc < 0 || o.TAcc > 1 || o.THAcc < 0 || o.THAcc > 1 {
+				t.Errorf("%s %v: accuracy out of range: %+v", name, sec, o)
+			}
+			if o.TimeMean <= 0 {
+				t.Errorf("%s %v: non-positive time", name, sec)
+			}
+		}
+		if rep[PatternsMembers].THAcc < rep[MemoryOnly].THAcc-0.05 {
+			t.Errorf("%s: patterns+members (%v) should dominate memory-only (%v)",
+				name, rep[PatternsMembers].THAcc, rep[MemoryOnly].THAcc)
+		}
+	}
+	// Memory degradation: ours should lose less TH-accuracy than dtree
+	// between patterns-only and memory-only.
+	ourDrop := ourRep[PatternsOnly].THAcc - ourRep[MemoryOnly].THAcc
+	dtDrop := dtRep[PatternsOnly].THAcc - dtRep[MemoryOnly].THAcc
+	if ourDrop > dtDrop+0.05 {
+		t.Errorf("our patterns degraded more than decision trees in memory: %v vs %v", ourDrop, dtDrop)
+	}
+}
+
+func TestComplexityDrivesMemoryGap(t *testing.T) {
+	// Construct two synthetic rule sets over the same space: simple (1-cond)
+	// rules and complex (6-cond) rules with identical coverage behaviour.
+	s, _ := studySpace(t)
+	mk := func(complexity int) RuleSet {
+		rs := RuleSet{Name: fmt.Sprintf("c%d", complexity)}
+		for start := 0; start < 8; start++ {
+			start := start
+			rs.Rules = append(rs.Rules, Rule{
+				Matches:    func(t []int32) bool { return t[0] == int32(start%3) },
+				Complexity: complexity,
+				MeanVal:    s.Vals[start],
+			})
+		}
+		return rs
+	}
+	cfg := DefaultConfig()
+	cfg.Subjects = 30
+	simple, err := Simulate(s, 30, mk(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	complexR, err := Simulate(s, 30, mk(6), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Complex rules must cost more time when visible.
+	if complexR[PatternsOnly].TimeMean <= simple[PatternsOnly].TimeMean {
+		t.Errorf("complex rules not slower: %v vs %v",
+			complexR[PatternsOnly].TimeMean, simple[PatternsOnly].TimeMean)
+	}
+}
+
+func TestSectionString(t *testing.T) {
+	if PatternsOnly.String() != "Patterns-only" || MemoryOnly.String() != "Memory-only" ||
+		PatternsMembers.String() != "Patterns+members" {
+		t.Error("section names wrong")
+	}
+}

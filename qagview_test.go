@@ -1,0 +1,218 @@
+package qagview
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"qagview/internal/movielens"
+	"qagview/internal/relation"
+)
+
+func movieDB(t *testing.T) *DB {
+	t.Helper()
+	rel, err := movielens.Generate(movielens.Config{Users: 300, Movies: 400, Ratings: 40_000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB()
+	if err := db.Register(rel); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestDBRegisterAndQuery(t *testing.T) {
+	db := movieDB(t)
+	if got := db.Tables(); len(got) != 1 || got[0] != "RatingTable" {
+		t.Fatalf("Tables = %v", got)
+	}
+	if err := db.Register(nil); err == nil {
+		t.Error("nil relation accepted")
+	}
+	if _, err := db.Table("nope"); err == nil {
+		t.Error("unknown table accepted")
+	}
+	res, err := db.Query(`SELECT agegrp, gender, avg(rating) AS val FROM RatingTable
+		WHERE genre_adventure = 1 GROUP BY agegrp, gender HAVING count(*) > 20 ORDER BY val DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N() < 4 {
+		t.Fatalf("only %d groups", res.N())
+	}
+}
+
+// TestEndToEndRunningExample exercises the full paper workflow: query →
+// summarizer → clusters → expansion → validation, as in Example 1.2
+// (k=4, L=8, D=2).
+func TestEndToEndRunningExample(t *testing.T) {
+	db := movieDB(t)
+	res, err := db.Query(`SELECT hdec, agegrp, gender, occupation, avg(rating) AS val
+		FROM RatingTable WHERE genre_adventure = 1
+		GROUP BY hdec, agegrp, gender, occupation HAVING count(*) > 10 ORDER BY val DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N() < 8 {
+		t.Skipf("synthetic data too sparse for this configuration: %d groups", res.N())
+	}
+	s, err := NewSummarizer(res, res.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{K: 4, L: 8, D: 2}
+	sol, err := s.Summarize(Hybrid, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(p, sol); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	if sol.Size() > 4 {
+		t.Errorf("size = %d", sol.Size())
+	}
+	rows := s.Rows(sol)
+	if len(rows) != sol.Size() {
+		t.Fatalf("Rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Pattern) != 4 {
+			t.Errorf("pattern width = %d", len(r.Pattern))
+		}
+		if len(r.Members) != r.Size {
+			t.Errorf("members %d != size %d", len(r.Members), r.Size)
+		}
+	}
+	text := s.Format(sol, true)
+	if !strings.Contains(text, "avg val") || !strings.Contains(text, "#") {
+		t.Errorf("Format output malformed:\n%s", text)
+	}
+	// Lower bound is never better.
+	if s.LowerBound().AvgValue() > sol.AvgValue()+1e-9 {
+		t.Error("trivial solution beats the summary")
+	}
+}
+
+func TestSummarizerPrecomputeAndCompare(t *testing.T) {
+	db := movieDB(t)
+	res, err := db.Query(`SELECT agegrp, gender, occupation, avg(rating) AS val
+		FROM RatingTable GROUP BY agegrp, gender, occupation HAVING count(*) > 30 ORDER BY val DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	L := 15
+	if res.N() < L {
+		t.Fatalf("need at least %d groups, have %d", L, res.N())
+	}
+	s, err := NewSummarizer(res, L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := s.Precompute(2, 8, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solA, err := store.Solution(6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solB, err := store.Solution(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := s.Compare(solA, solB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := diff.OptimalOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.TotalDistance(order) > diff.TotalDistance(diff.DefaultOrder()) {
+		t.Error("optimal placement worse than default")
+	}
+	g := store.Guidance()
+	if len(g.Series) != 2 {
+		t.Errorf("guidance series = %d", len(g.Series))
+	}
+}
+
+func TestNewSummarizerErrors(t *testing.T) {
+	if _, err := NewSummarizer(nil, 5); err == nil {
+		t.Error("nil result accepted")
+	}
+	if _, err := NewSummarizerFromRows([]string{"a"}, [][]string{{"x"}}, []float64{1}, 9); err == nil {
+		t.Error("L > N accepted")
+	}
+}
+
+func TestNewSummarizerFromRowsDirect(t *testing.T) {
+	s, err := NewSummarizerFromRows(
+		[]string{"color", "size"},
+		[][]string{{"red", "s"}, {"red", "m"}, {"blue", "s"}, {"blue", "m"}},
+		[]float64{4, 3, 2, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 4 || s.M() != 2 || s.L() != 2 {
+		t.Errorf("dims: N=%d M=%d L=%d", s.N(), s.M(), s.L())
+	}
+	if got := s.Attrs(); got[0] != "color" {
+		t.Errorf("attrs = %v", got)
+	}
+	sol, err := s.Summarize(BottomUp, Params{K: 1, L: 2, D: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both top tuples are red; merging them gives (red, *).
+	pat := s.Rows(sol)[0].Pattern
+	if pat[0] != "red" || pat[1] != "*" {
+		t.Errorf("pattern = %v, want (red, *)", pat)
+	}
+}
+
+func TestReadCSVReexport(t *testing.T) {
+	r, err := ReadCSV(strings.NewReader("a,v\nx,1\ny,2\n"), "t", map[string]Kind{"v": KindFloat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ *Relation = r
+	if r.NumRows() != 2 {
+		t.Errorf("rows = %d", r.NumRows())
+	}
+	var _ *relation.Relation = r // alias identity
+}
+
+func TestStoreEncodeDecodeViaFacade(t *testing.T) {
+	s, err := NewSummarizerFromRows(
+		[]string{"a", "b"},
+		[][]string{{"x", "p"}, {"x", "q"}, {"y", "p"}, {"y", "q"}, {"z", "p"}},
+		[]float64{5, 4, 3, 2, 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := s.Precompute(1, 3, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := store.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := s.DecodeStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := store.Solution(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Solution(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvgValue() != b.AvgValue() || a.Size() != b.Size() {
+		t.Error("decoded store diverges")
+	}
+}
