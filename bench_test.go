@@ -229,6 +229,26 @@ func BenchmarkFig7PrecomputeK(b *testing.B) {
 	}
 }
 
+// BenchmarkFig7PrecomputeKParallel measures the per-D fan-out of the
+// precompute sweep on the Figure 7 grid (k up to 20, D in 1..4, L=500),
+// sweeping the worker count. On a machine with >= 4 cores the par=4 case
+// should run the sweep at least ~2x faster than par=1; output is
+// bit-identical at every level (see TestParallelMatchesSequential).
+func BenchmarkFig7PrecomputeKParallel(b *testing.B) {
+	s := getState(b)
+	ds := []int{1, 2, 3, 4}
+	for _, par := range []int{1, 2, 4, 8} {
+		par := par
+		b.Run(label("par", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.midSumm.Precompute(1, 20, ds, qagview.Parallelism(par)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFig7Retrieve measures the precomputed retrieval path that makes
 // repeated runs cheap (Figures 7b-7f): one interval-tree stab plus coverage
 // reconstruction.

@@ -22,6 +22,7 @@ import (
 func main() {
 	scale := flag.String("scale", "paper", "dataset scale: small (fast) or paper (MovieLens-100K sized)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	par := flag.Int("par", 1, "precompute worker count (1 = the paper's sequential timings, 0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *list {
@@ -45,6 +46,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+	env.Parallelism = *par
 
 	ids := flag.Args()
 	var selected []exp.Experiment

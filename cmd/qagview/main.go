@@ -41,6 +41,7 @@ func run() error {
 	guide := flag.Bool("guide", false, "print the parameter-selection guidance series instead of one solution")
 	kmax := flag.Int("kmax", 12, "guidance: maximum k")
 	dlist := flag.String("dlist", "1,2,3", "guidance: comma-separated D values")
+	par := flag.Int("par", 0, "guidance: precompute worker count (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	db := qagview.NewDB()
@@ -124,7 +125,11 @@ func run() error {
 			ds = append(ds, v)
 		}
 		km := *kmax
-		store, err := s.Precompute(1, km, ds)
+		var popts []qagview.PrecomputeOption
+		if *par > 0 {
+			popts = append(popts, qagview.Parallelism(*par))
+		}
+		store, err := s.Precompute(1, km, ds, popts...)
 		if err != nil {
 			return err
 		}
@@ -137,7 +142,11 @@ func run() error {
 		fmt.Println()
 		for _, dd := range ds {
 			fmt.Printf("%-4d", dd)
-			for _, v := range g.Series[dd] {
+			for i, v := range g.Series[dd] {
+				if !g.Stored(dd, g.KMin+i) {
+					fmt.Printf(" %7s", "-")
+					continue
+				}
 				fmt.Printf(" %7.3f", v)
 			}
 			fmt.Println()

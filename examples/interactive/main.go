@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
 	"qagview"
 	"qagview/internal/movielens"
@@ -39,12 +40,19 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The per-D replays are independent, so the grid precompute fans out
+	// over all cores by default; qagview.Parallelism(1) would reproduce the
+	// paper's sequential path with bit-identical output.
 	kMin, kMax := 2, 12
 	ds := []int{1, 2, 3}
+	t0 := time.Now()
 	store, err := s.Precompute(kMin, kMax, ds)
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("precomputed %d (k, D) combinations as %d intervals in %v\n\n",
+		(kMax-kMin+1)*len(ds), store.StoredIntervals(),
+		time.Since(t0).Round(time.Microsecond))
 
 	// Figure 2 analogue: one line per D, value vs k, as an ASCII chart.
 	g := store.Guidance()
@@ -52,7 +60,11 @@ func main() {
 	lo, hi := bounds(g)
 	for _, d := range ds {
 		fmt.Printf("D=%d |", d)
-		for _, v := range g.Series[d] {
+		for i, v := range g.Series[d] {
+			if !g.Stored(d, kMin+i) {
+				fmt.Printf(" %-5s", "-")
+				continue
+			}
 			fmt.Printf(" %s", bar(v, lo, hi))
 		}
 		fmt.Println()
@@ -103,8 +115,11 @@ func main() {
 
 func bounds(g *qagview.Guidance) (lo, hi float64) {
 	first := true
-	for _, series := range g.Series {
-		for _, v := range series {
+	for d, series := range g.Series {
+		for i, v := range series {
+			if !g.Stored(d, g.KMin+i) {
+				continue // zero placeholder, not a value
+			}
 			if first || v < lo {
 				lo = v
 			}

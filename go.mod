@@ -1,0 +1,3 @@
+module qagview
+
+go 1.22

@@ -22,10 +22,26 @@ type Env struct {
 	ML *qagview.DB
 	tp *qagview.DB
 
+	// Parallelism bounds the worker pool of precompute experiments.
+	// 0 keeps the library default (GOMAXPROCS); 1 forces sequential runs,
+	// which reproduces the paper's single-threaded timings — cmd/experiments
+	// defaults to 1 so the Figure 7 single-vs-precompute tables stay
+	// comparable to the paper (the single-run path has no parallel variant).
+	Parallelism int
+
 	mlCfg movielens.Config
 	tpCfg tpcds.Config
 
 	cache map[string]*qagview.Result
+}
+
+// preOpts translates the environment's parallelism setting into precompute
+// options for the figure regenerators.
+func (e *Env) preOpts() []qagview.PrecomputeOption {
+	if e.Parallelism == 0 {
+		return nil
+	}
+	return []qagview.PrecomputeOption{qagview.Parallelism(e.Parallelism)}
 }
 
 // NewEnv generates the MovieLens-like dataset eagerly and remembers the

@@ -112,7 +112,7 @@ func Fig2(e *Env) ([]Table, error) {
 			ds = ds[:len(ds)-1]
 		}
 	}
-	store, err := s.Precompute(kMin, kMax, ds)
+	store, err := s.Precompute(kMin, kMax, ds, e.preOpts()...)
 	if err != nil {
 		return nil, err
 	}
@@ -128,7 +128,11 @@ func Fig2(e *Env) ([]Table, error) {
 	}
 	for _, d := range ds {
 		cells := []any{d}
-		for _, v := range g.Series[d] {
+		for i, v := range g.Series[d] {
+			if !g.Stored(d, kMin+i) {
+				cells = append(cells, "-")
+				continue
+			}
 			cells = append(cells, v)
 		}
 		t.Add(cells...)

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
 
 	"qagview"
 	"qagview/internal/lattice"
@@ -27,7 +28,7 @@ func singleRun(res *qagview.Result, k, L, D int) (float64, float64, error) {
 // precomputeRun measures the precomputed path: initialization, the sweep
 // over k in [1, kMax] for the given D, and one retrieval. It returns
 // (init ms, sweep ms, retrieval ms).
-func precomputeRun(res *qagview.Result, kMax, L, D int) (float64, float64, float64, error) {
+func precomputeRun(e *Env, res *qagview.Result, kMax, L, D int) (float64, float64, float64, error) {
 	t0 := startTimer()
 	s, err := qagview.NewSummarizer(res, L)
 	if err != nil {
@@ -35,7 +36,7 @@ func precomputeRun(res *qagview.Result, kMax, L, D int) (float64, float64, float
 	}
 	initMs := t0.ms()
 	t1 := startTimer()
-	store, err := s.Precompute(1, kMax, []int{D})
+	store, err := s.Precompute(1, kMax, []int{D}, e.preOpts()...)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -65,7 +66,7 @@ func Fig7K(e *Env) ([]Table, error) {
 		Notes:  fmt.Sprintf("N = %d (paper: 2087)", res.N()),
 	}
 	for _, k := range []int{5, 10, 20, 50, 80} {
-		initMs, sweepMs, retMs, err := precomputeRun(res, k, L, 2)
+		initMs, sweepMs, retMs, err := precomputeRun(e, res, k, L, 2)
 		if err != nil {
 			return nil, err
 		}
@@ -81,7 +82,7 @@ func Fig7L(e *Env) ([]Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return singleVsPrecompute("fig7cd", res, []int{200, 500, 1000},
+	return singleVsPrecompute(e, "fig7cd", res, []int{200, 500, 1000},
 		fmt.Sprintf("k=20, D=2, N=%d (paper: 2087)", res.N()))
 }
 
@@ -111,7 +112,7 @@ func Fig7N(e *Env) ([]Table, error) {
 			return nil, err
 		}
 		single.Add(res.N(), fms(i1), fms(a1))
-		i2, a2, r2, err := precomputeRun(res, 20, L, 2)
+		i2, a2, r2, err := precomputeRun(e, res, 20, L, 2)
 		if err != nil {
 			return nil, err
 		}
@@ -156,7 +157,7 @@ func Fig7Runs(e *Env) ([]Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	store, err := s.Precompute(1, 20, []int{2})
+	store, err := s.Precompute(1, 20, []int{2}, e.preOpts()...)
 	if err != nil {
 		return nil, err
 	}
@@ -177,7 +178,7 @@ func Fig7Runs(e *Env) ([]Table, error) {
 	return []Table{t}, nil
 }
 
-func singleVsPrecompute(id string, res *qagview.Result, Ls []int, note string) ([]Table, error) {
+func singleVsPrecompute(e *Env, id string, res *qagview.Result, Ls []int, note string) ([]Table, error) {
 	single := Table{
 		ID:     id + "-single",
 		Title:  "Single run (ms) vs L",
@@ -199,13 +200,71 @@ func singleVsPrecompute(id string, res *qagview.Result, Ls []int, note string) (
 			return nil, err
 		}
 		single.Add(L, fms(i1), fms(a1))
-		i2, a2, r2, err := precomputeRun(res, 20, L, 2)
+		i2, a2, r2, err := precomputeRun(e, res, 20, L, 2)
 		if err != nil {
 			return nil, err
 		}
 		pre.Add(L, fms(i2), fms(a2), fms(r2))
 	}
 	return []Table{single, pre}, nil
+}
+
+// Fig7Par measures the parallel precompute fan-out: one full (k, D) guidance
+// grid (the Figure 2 workload at Figure 7 scale) timed at increasing worker
+// counts, verifying along the way that every parallelism level produces the
+// sequential guidance series bit-for-bit.
+func Fig7Par(e *Env) ([]Table, error) {
+	res, err := e.MovieLensResult(8, 2087)
+	if err != nil {
+		return nil, err
+	}
+	L := 500
+	if res.N() < L {
+		L = res.N()
+	}
+	s, err := qagview.NewSummarizer(res, L)
+	if err != nil {
+		return nil, err
+	}
+	kMin, kMax := 1, 20
+	ds := []int{1, 2, 3, 4, 5, 6}
+	for len(ds) > 0 && ds[len(ds)-1] > s.M() {
+		ds = ds[:len(ds)-1]
+	}
+	t := Table{
+		ID:     "fig7par",
+		Title:  fmt.Sprintf("Precompute grid (ms) vs worker count; k=[%d,%d], D=%v, L=%d", kMin, kMax, ds, L),
+		Header: []string{"workers", "sweep ms", "speedup", "identical to sequential"},
+		Notes: fmt.Sprintf("N = %d; GOMAXPROCS = %d; the per-D replays are independent given the shared Fixed-Order state",
+			res.N(), runtime.GOMAXPROCS(0)),
+	}
+	var baseMs float64
+	var baseline *qagview.Guidance
+	for _, workers := range []int{1, 2, 4, 8} {
+		t0 := startTimer()
+		store, err := s.Precompute(kMin, kMax, ds, qagview.Parallelism(workers))
+		if err != nil {
+			return nil, err
+		}
+		ms := t0.ms()
+		g := store.Guidance()
+		same := true
+		if baseline == nil {
+			baseline = g
+			baseMs = ms
+		} else {
+			for _, d := range ds {
+				a, b := baseline.Series[d], g.Series[d]
+				for i := range a {
+					if a[i] != b[i] {
+						same = false
+					}
+				}
+			}
+		}
+		t.Add(workers, fms(ms), fmt.Sprintf("%.2fx", baseMs/ms), same)
+	}
+	return []Table{t}, nil
 }
 
 // Fig8A ablates the cluster-generation/mapping optimization (Figure 8a):
@@ -299,6 +358,6 @@ func Fig9(e *Env) ([]Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return singleVsPrecompute("fig9", res, []int{500, 1000, 2000},
+	return singleVsPrecompute(e, "fig9", res, []int{500, 1000, 2000},
 		fmt.Sprintf("TPC-DS store_sales; k=20, D=2, N=%d (paper: 47361)", res.N()))
 }

@@ -1,0 +1,175 @@
+package precompute
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"qagview/internal/engine"
+	"qagview/internal/intervaltree"
+	"qagview/internal/lattice"
+	"qagview/internal/movielens"
+	"qagview/internal/relation"
+)
+
+// oneTable is a minimal engine.Catalog over a single relation, so these
+// tests can run aggregate queries without importing the root package (which
+// itself imports precompute).
+type oneTable struct{ rel *relation.Relation }
+
+func (c oneTable) Table(name string) (*relation.Relation, error) {
+	if name != c.rel.Name() {
+		return nil, fmt.Errorf("unknown table %q", name)
+	}
+	return c.rel, nil
+}
+
+// movieLensIndex builds a cluster index over a small synthetic MovieLens
+// aggregate result.
+func movieLensIndex(t *testing.T, L int) *lattice.Index {
+	t.Helper()
+	rel, err := movielens.Generate(movielens.Config{Users: 150, Movies: 200, Ratings: 15_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql, err := movielens.Query(6, 3, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.ExecuteSQL(oneTable{rel}, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := lattice.NewSpace(res.GroupBy, res.Rows, res.Vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if space.N() < L {
+		L = space.N()
+	}
+	ix, err := lattice.BuildIndex(space, L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// TestParallelMatchesSequential checks the tentpole guarantee: a parallel
+// precompute is bit-identical to the sequential one — same guidance series,
+// same stored intervals, same per-D interval lists. Run with -race this also
+// exercises the fan-out for data races, on both the synthetic and the
+// MovieLens answer spaces.
+func TestParallelMatchesSequential(t *testing.T) {
+	cases := []struct {
+		name string
+		ix   *lattice.Index
+	}{
+		{"synthetic", randomIndex(t, 11, 150, 4, 4, 30)},
+		{"movielens", movieLensIndex(t, 40)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ix := tc.ix
+			kMin, kMax := 1, 12
+			ds := []int{0, 1, 2, 3, 4}
+			seq, err := Run(ix, ix.L, kMin, kMax, ds, Parallelism(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := Run(ix, ix.L, kMin, kMax, ds, Parallelism(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := par.StoredIntervals(), seq.StoredIntervals(); got != want {
+				t.Errorf("StoredIntervals: parallel %d, sequential %d", got, want)
+			}
+			gs, gp := seq.Guidance(), par.Guidance()
+			if gs.KMin != gp.KMin || gs.KMax != gp.KMax {
+				t.Fatalf("guidance ranges differ: [%d,%d] vs [%d,%d]", gs.KMin, gs.KMax, gp.KMin, gp.KMax)
+			}
+			for _, d := range ds {
+				a, b := gs.Series[d], gp.Series[d]
+				if len(a) != len(b) {
+					t.Fatalf("D=%d: series lengths %d vs %d", d, len(a), len(b))
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Errorf("D=%d k=%d: sequential %v, parallel %v", d, kMin+i, a[i], b[i])
+					}
+				}
+				ea, eb := seq.perD[d], par.perD[d]
+				if ea.minSize != eb.minSize {
+					t.Errorf("D=%d: minSize %d vs %d", d, ea.minSize, eb.minSize)
+				}
+				if len(ea.ivs) != len(eb.ivs) {
+					t.Fatalf("D=%d: %d intervals vs %d", d, len(ea.ivs), len(eb.ivs))
+				}
+				for i := range ea.ivs {
+					if ea.ivs[i] != eb.ivs[i] {
+						t.Errorf("D=%d interval %d: %+v vs %+v", d, i, ea.ivs[i], eb.ivs[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelismDegenerateValues checks that zero/negative parallelism
+// falls back to the sequential path rather than deadlocking or panicking.
+func TestParallelismDegenerateValues(t *testing.T) {
+	ix := randomIndex(t, 12, 80, 4, 4, 20)
+	for _, n := range []int{-1, 0, 1, 100} {
+		st, err := Run(ix, 20, 1, 6, []int{1, 2}, Parallelism(n))
+		if err != nil {
+			t.Fatalf("Parallelism(%d): %v", n, err)
+		}
+		if _, err := st.Solution(4, 2); err != nil {
+			t.Fatalf("Parallelism(%d) retrieval: %v", n, err)
+		}
+	}
+}
+
+// TestParallelErrorIsDeterministic checks that when several Ds fail, the
+// reported error is the smallest failing D's, independent of goroutine
+// scheduling.
+func TestParallelErrorIsDeterministic(t *testing.T) {
+	ix := randomIndex(t, 13, 80, 4, 4, 20)
+	// Ds beyond Space.M() make RunD fail; 98 sorts before 99.
+	for trial := 0; trial < 5; trial++ {
+		_, err := Run(ix, 20, 1, 6, []int{1, 99, 2, 98}, Parallelism(4))
+		if err == nil {
+			t.Fatal("want error for out-of-range D")
+		}
+		if !strings.Contains(err.Error(), "D = 98") {
+			t.Fatalf("want the smallest failing D (98) reported, got: %v", err)
+		}
+	}
+}
+
+// TestValueMatchesSolutionBelowMinSize checks the Value/Solution
+// consistency fix: for k below the smallest stored solution size both must
+// report "no solution stored" instead of Value leaking a zero-initialized
+// placeholder.
+func TestValueMatchesSolutionBelowMinSize(t *testing.T) {
+	ix := randomIndex(t, 14, 60, 4, 4, 10)
+	ivs := []intervaltree.Interval{{Lo: 3, Hi: 5, Payload: 0}, {Lo: 3, Hi: 5, Payload: 1}}
+	tree, err := intervaltree.Build(ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &Store{
+		ix: ix, L: 10, KMin: 1, KMax: 5, Ds: []int{1},
+		perD: map[int]*dEntry{1: {tree: tree, ivs: ivs, avg: make([]float64, 5), minSize: 3}},
+	}
+	for k := 1; k <= 2; k++ {
+		if _, err := st.Solution(k, 1); err == nil {
+			t.Errorf("Solution(%d, 1): want error below minSize", k)
+		}
+		if _, err := st.Value(k, 1); err == nil {
+			t.Errorf("Value(%d, 1): want error below minSize, got a silent zero", k)
+		}
+	}
+	if _, err := st.Value(3, 1); err != nil {
+		t.Errorf("Value(3, 1): %v", err)
+	}
+}

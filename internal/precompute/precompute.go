@@ -8,12 +8,40 @@ package precompute
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"qagview/internal/intervaltree"
 	"qagview/internal/lattice"
 	"qagview/internal/summarize"
 )
+
+// config collects precompute options.
+type config struct {
+	parallelism int
+	sum         []summarize.Option
+}
+
+func defaultConfig() config {
+	return config{parallelism: runtime.GOMAXPROCS(0)}
+}
+
+// Option customizes a precompute run.
+type Option func(*config)
+
+// Parallelism sets the number of worker goroutines the per-D Bottom-Up
+// replays fan out over. The default is GOMAXPROCS; n <= 1 forces the
+// sequential path. Results are identical to sequential regardless of n: the
+// replays share only the immutable Fixed-Order state and the per-D entries
+// are assembled in D order.
+func Parallelism(n int) Option { return func(c *config) { c.parallelism = n } }
+
+// WithSummarize forwards options (Delta-Judgment, hybrid factor, ...) to the
+// underlying shared Fixed-Order phase and per-D replays.
+func WithSummarize(opts ...summarize.Option) Option {
+	return func(c *config) { c.sum = append(c.sum, opts...) }
+}
 
 // Store holds precomputed solutions for all (k, D) in KMin..KMax x Ds, for
 // one coverage parameter L.
@@ -37,15 +65,29 @@ type dEntry struct {
 
 // Run executes the precomputation: the shared Fixed-Order phase sized for
 // kMax, then one Bottom-Up replay per D in ds, converting each replay's
-// states into per-cluster k-intervals stored in an interval tree.
-func Run(ix *lattice.Index, L, kMin, kMax int, ds []int, opts ...summarize.Option) (*Store, error) {
+// states into per-cluster k-intervals stored in an interval tree. The
+// replays are independent given the shared Fixed-Order state, so they fan
+// out over a worker pool (see Parallelism); entries are assembled in D
+// order, making the store bit-identical to a sequential run.
+func Run(ix *lattice.Index, L, kMin, kMax int, ds []int, opts ...Option) (*Store, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
 	if kMin < 1 || kMin > kMax {
 		return nil, fmt.Errorf("precompute: bad k range [%d, %d]", kMin, kMax)
 	}
 	if len(ds) == 0 {
 		return nil, fmt.Errorf("precompute: no D values")
 	}
-	sw, err := summarize.NewSweeper(ix, L, kMax, opts...)
+	seen := make(map[int]bool, len(ds))
+	for _, d := range ds {
+		if seen[d] {
+			return nil, fmt.Errorf("precompute: duplicate D = %d", d)
+		}
+		seen[d] = true
+	}
+	sw, err := summarize.NewSweeper(ix, L, kMax, cfg.sum...)
 	if err != nil {
 		return nil, err
 	}
@@ -55,21 +97,69 @@ func Run(ix *lattice.Index, L, kMin, kMax int, ds []int, opts ...summarize.Optio
 		perD: make(map[int]*dEntry, len(ds)),
 	}
 	sort.Ints(st.Ds)
-	for _, d := range st.Ds {
-		if _, dup := st.perD[d]; dup {
-			return nil, fmt.Errorf("precompute: duplicate D = %d", d)
-		}
-		states, err := sw.RunD(d, kMin)
-		if err != nil {
-			return nil, err
-		}
-		entry, err := buildEntry(states, kMin, kMax)
-		if err != nil {
-			return nil, err
-		}
-		st.perD[d] = entry
+	entries, err := runAll(sw, st.Ds, kMin, kMax, cfg.parallelism)
+	if err != nil {
+		return nil, err
+	}
+	for i, d := range st.Ds {
+		st.perD[d] = entries[i]
 	}
 	return st, nil
+}
+
+// runOne replays the Bottom-Up phase for one D and converts the trace into
+// interval storage.
+func runOne(sw *summarize.Sweeper, d, kMin, kMax int) (*dEntry, error) {
+	states, err := sw.RunD(d, kMin)
+	if err != nil {
+		return nil, err
+	}
+	return buildEntry(states, kMin, kMax)
+}
+
+// runAll computes the per-D entries, fanning out over up to `parallelism`
+// workers. Each worker replays from its own clone of the shared Fixed-Order
+// state, so replays never share mutable data (see workset.clone). The error
+// reported is the one for the smallest failing D, independent of scheduling.
+func runAll(sw *summarize.Sweeper, ds []int, kMin, kMax, parallelism int) ([]*dEntry, error) {
+	entries := make([]*dEntry, len(ds))
+	workers := parallelism
+	if workers > len(ds) {
+		workers = len(ds)
+	}
+	if workers <= 1 {
+		for i, d := range ds {
+			e, err := runOne(sw, d, kMin, kMax)
+			if err != nil {
+				return nil, err
+			}
+			entries[i] = e
+		}
+		return entries, nil
+	}
+	errs := make([]error, len(ds))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				entries[i], errs[i] = runOne(sw, ds[i], kMin, kMax)
+			}
+		}()
+	}
+	for i := range ds {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return entries, nil
 }
 
 // buildEntry converts a per-D sweep trace into interval storage. State i is
@@ -175,15 +265,32 @@ func (s *Store) Solution(k, d int) (*summarize.Solution, error) {
 // over [KMin, KMax].
 type Guidance struct {
 	KMin, KMax int
-	// Series maps D to values indexed by k-KMin.
+	// Series maps D to values indexed by k-KMin. Entries for k below
+	// MinSizes[D] are zero placeholders, not objective values: the sweep
+	// never reached a solution that small (Value and Solution error there).
 	Series map[int][]float64
+	// MinSizes maps D to the smallest solution size the sweep stored.
+	MinSizes map[int]int
+}
+
+// Stored reports whether Series[d] holds a real objective value at k: a
+// solution of size <= k was stored. Entries below MinSizes[d] are zero
+// placeholders that renderers should not present as values.
+func (g *Guidance) Stored(d, k int) bool {
+	ms, ok := g.MinSizes[d]
+	return ok && k >= ms && k >= g.KMin && k <= g.KMax
 }
 
 // Guidance returns the precomputed guidance series.
 func (s *Store) Guidance() *Guidance {
-	g := &Guidance{KMin: s.KMin, KMax: s.KMax, Series: make(map[int][]float64, len(s.perD))}
+	g := &Guidance{
+		KMin: s.KMin, KMax: s.KMax,
+		Series:   make(map[int][]float64, len(s.perD)),
+		MinSizes: make(map[int]int, len(s.perD)),
+	}
 	for d, e := range s.perD {
 		g.Series[d] = append([]float64(nil), e.avg...)
+		g.MinSizes[d] = e.minSize
 	}
 	return g
 }
@@ -196,6 +303,11 @@ func (s *Store) Value(k, d int) (float64, error) {
 	}
 	if k < s.KMin || k > s.KMax {
 		return 0, fmt.Errorf("precompute: k = %d outside [%d, %d]", k, s.KMin, s.KMax)
+	}
+	if k < entry.minSize {
+		// The sweep never reached a solution this small; avg[k-KMin] is a
+		// zero-initialized placeholder, not a value. Mirror Solution's error.
+		return 0, fmt.Errorf("precompute: no solution stored for k = %d, D = %d", k, d)
 	}
 	return entry.avg[k-s.KMin], nil
 }

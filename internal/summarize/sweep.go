@@ -2,6 +2,7 @@ package summarize
 
 import (
 	"fmt"
+	"sort"
 
 	"qagview/internal/lattice"
 )
@@ -52,12 +53,13 @@ type SweepStates struct {
 // SolutionFor returns the state in effect for k, or false if k is below the
 // smallest recorded size.
 func (ss *SweepStates) SolutionFor(k int) (*SweepState, bool) {
-	for i := range ss.States {
-		if ss.States[i].Size <= k {
-			return &ss.States[i], true
-		}
+	// Size is strictly decreasing, so Size <= k is monotone over the trace:
+	// binary-search the first state satisfying it.
+	i := sort.Search(len(ss.States), func(i int) bool { return ss.States[i].Size <= k })
+	if i == len(ss.States) {
+		return nil, false
 	}
-	return nil, false
+	return &ss.States[i], true
 }
 
 // NewSweeper runs the shared Fixed-Order phase for coverage L with a
@@ -92,6 +94,9 @@ func (sw *Sweeper) PoolSize() int { return sw.base.size() }
 // returned states obey the continuity property (Proposition 6.1): once a
 // cluster disappears it never reappears, so each cluster's ks form one
 // interval.
+//
+// RunD is safe for concurrent use: each call works on its own clone of the
+// shared Fixed-Order state and only reads the base workset and the index.
 func (sw *Sweeper) RunD(D, kMin int) (*SweepStates, error) {
 	if D < 0 || D > sw.ix.Space.M() {
 		return nil, fmt.Errorf("summarize: D = %d out of range [0, %d]", D, sw.ix.Space.M())
@@ -133,7 +138,13 @@ func (sw *Sweeper) RunD(D, kMin int) (*SweepStates, error) {
 }
 
 // clone copies the mutable solution state (clusters, coverage, objective)
-// with a fresh Delta-Judgment cache, so per-D replays are independent.
+// with a fresh Delta-Judgment cache, so per-D replays are independent and
+// may run concurrently: the clone shares only the immutable index and the
+// *lattice.Cluster values (never mutated after BuildIndex). The cache map,
+// its *deltaEntry values (mutated in place by marginal), the lastDelta
+// slice, and the coverage bitmap must all be unshared — the cache starts
+// empty (which also makes lastDelta/round irrelevant, as no entry can be
+// one round stale) and the bitmap is deep-copied.
 func (ws *workset) clone() *workset {
 	c := newWorkset(ws.ix, ws.delta)
 	c.obj = ws.obj

@@ -1,0 +1,151 @@
+package summarize
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSolutionForBinarySearch checks the binary search against a linear scan
+// over traces with skipped sizes (merges can remove several clusters at
+// once, so consecutive states may differ in size by more than one).
+func TestSolutionForBinarySearch(t *testing.T) {
+	ss := &SweepStates{States: []SweepState{
+		{Size: 9, Sum: 9}, {Size: 7, Sum: 7}, {Size: 4, Sum: 4}, {Size: 2, Sum: 2},
+	}}
+	linear := func(k int) (*SweepState, bool) {
+		for i := range ss.States {
+			if ss.States[i].Size <= k {
+				return &ss.States[i], true
+			}
+		}
+		return nil, false
+	}
+	for k := 0; k <= 12; k++ {
+		want, wantOK := linear(k)
+		got, gotOK := ss.SolutionFor(k)
+		if gotOK != wantOK || got != want {
+			t.Errorf("SolutionFor(%d) = %v, %v; linear scan gives %v, %v", k, got, gotOK, want, wantOK)
+		}
+	}
+	empty := &SweepStates{}
+	if _, ok := empty.SolutionFor(5); ok {
+		t.Error("SolutionFor on empty trace: want ok=false")
+	}
+}
+
+// TestWorksetCloneIsolation audits that clone shares no mutable state with
+// the base workset: running a full Bottom-Up replay on the clone must leave
+// the base's clusters, coverage bitmap, objective accumulators, and
+// Delta-Judgment cache untouched.
+func TestWorksetCloneIsolation(t *testing.T) {
+	ix := randomIndex(t, 21, 120, 4, 4, 25)
+	sw, err := NewSweeper(ix, 25, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sw.base
+	wantIDs := sortedIDs(base)
+	wantSum, wantCnt, wantRound := base.sum, base.cnt, base.round
+	wantCovered := base.covered.clone()
+	wantCacheLen := len(base.cache)
+	wantLastDelta := append([]int32(nil), base.lastDelta...)
+
+	c := base.clone()
+	if len(c.cache) != 0 {
+		t.Errorf("clone cache has %d entries, want 0 (a shared or copied cache would leak *deltaEntry mutations)", len(c.cache))
+	}
+	if c.lastDelta != nil {
+		t.Error("clone lastDelta is non-nil; it must not alias the base's slice")
+	}
+
+	// Mutate the clone heavily: enforce a distance constraint and merge all
+	// the way down to a single cluster.
+	if _, err := sw.RunD(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	ps := newPairSet(c)
+	for c.size() > 1 {
+		pi, ok := ps.best(nil, c.evalAdd)
+		if !ok {
+			break
+		}
+		if err := ps.merge(pi); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	gotIDs := sortedIDs(base)
+	if len(gotIDs) != len(wantIDs) {
+		t.Fatalf("base cluster count changed: %d -> %d", len(wantIDs), len(gotIDs))
+	}
+	for i := range wantIDs {
+		if gotIDs[i] != wantIDs[i] {
+			t.Fatalf("base cluster set changed at %d: %d -> %d", i, wantIDs[i], gotIDs[i])
+		}
+	}
+	if base.sum != wantSum || base.cnt != wantCnt || base.round != wantRound {
+		t.Errorf("base accumulators changed: sum %v->%v cnt %d->%d round %d->%d",
+			wantSum, base.sum, wantCnt, base.cnt, wantRound, base.round)
+	}
+	for i := range wantCovered {
+		if base.covered[i] != wantCovered[i] {
+			t.Fatalf("base coverage bitmap word %d changed", i)
+		}
+	}
+	if len(base.cache) != wantCacheLen {
+		t.Errorf("base cache size changed: %d -> %d", wantCacheLen, len(base.cache))
+	}
+	if len(base.lastDelta) != len(wantLastDelta) {
+		t.Errorf("base lastDelta length changed: %d -> %d", len(wantLastDelta), len(base.lastDelta))
+	}
+}
+
+// TestRunDConcurrentMatchesSequential replays several Ds concurrently from
+// one shared Sweeper and checks each trace is identical to a sequential
+// replay. Run with -race this is the safety proof for the parallel
+// precompute fan-out.
+func TestRunDConcurrentMatchesSequential(t *testing.T) {
+	ix := randomIndex(t, 22, 150, 4, 4, 30)
+	sw, err := NewSweeper(ix, 30, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := []int{0, 1, 2, 3, 4}
+	want := make([]*SweepStates, len(ds))
+	for i, d := range ds {
+		if want[i], err = sw.RunD(d, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make([]*SweepStates, len(ds))
+	errs := make([]error, len(ds))
+	var wg sync.WaitGroup
+	for i := range ds {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = sw.RunD(ds[i], 1)
+		}(i)
+	}
+	wg.Wait()
+	for i, d := range ds {
+		if errs[i] != nil {
+			t.Fatalf("concurrent RunD(%d): %v", d, errs[i])
+		}
+		a, b := want[i], got[i]
+		if len(a.States) != len(b.States) {
+			t.Fatalf("D=%d: %d states sequential, %d concurrent", d, len(a.States), len(b.States))
+		}
+		for j := range a.States {
+			sa, sb := &a.States[j], &b.States[j]
+			if sa.Size != sb.Size || sa.Sum != sb.Sum || sa.Count != sb.Count {
+				t.Fatalf("D=%d state %d differs: %+v vs %+v", d, j, sa, sb)
+			}
+			for x := range sa.Clusters {
+				if sa.Clusters[x] != sb.Clusters[x] {
+					t.Fatalf("D=%d state %d cluster %d differs", d, j, x)
+				}
+			}
+		}
+	}
+}
