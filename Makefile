@@ -1,0 +1,37 @@
+# Core benchmarks tracked across PRs: the precompute grid (allocations per
+# replay are the dense-engine target figure), the per-replay sweep unit, the
+# single-run algorithms, and the Delta-Judgment ablation.
+BENCH_ROOT    := BenchmarkFig7PrecomputeKParallel|BenchmarkFig6VaryD|BenchmarkFig8Delta
+BENCH_SUMMARIZE := BenchmarkSweeperRunD
+BENCH_COUNT   ?= 1
+BENCH_TIME    ?= 3x
+BENCH_OUT     ?= bench.txt
+
+.PHONY: build test race bench fuzz fmt vet ci
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+vet:
+	go vet ./...
+
+fmt:
+	gofmt -l .
+
+# bench runs the tracked benchmarks with allocation reporting and writes the
+# result to $(BENCH_OUT), the artifact CI uploads as the perf baseline.
+bench:
+	go test -run '^$$' -bench '$(BENCH_ROOT)' -benchmem -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) . | tee $(BENCH_OUT)
+	go test -run '^$$' -bench '$(BENCH_SUMMARIZE)' -benchmem -benchtime 50x -count $(BENCH_COUNT) ./internal/summarize/ | tee -a $(BENCH_OUT)
+
+# fuzz gives the SQL front end a short adversarial workout.
+fuzz:
+	go test -fuzz FuzzParse -fuzztime 30s ./internal/engine/
+
+ci: vet build test race

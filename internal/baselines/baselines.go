@@ -57,7 +57,8 @@ func SmartDrillDown(ix *lattice.Index, k int, scope Scope) ([]Rule, error) {
 	var out []Rule
 	for len(out) < k {
 		var best *Rule
-		for _, c := range ix.Clusters {
+		for ci := range ix.Clusters {
+			c := &ix.Clusters[ci]
 			w := ix.Space.M() - c.Pat.Level()
 			if w == 0 {
 				continue // the all-star rule carries zero weight

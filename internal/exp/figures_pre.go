@@ -234,8 +234,9 @@ func Fig7Par(e *Env) ([]Table, error) {
 	t := Table{
 		ID:     "fig7par",
 		Title:  fmt.Sprintf("Precompute grid (ms) vs worker count; k=[%d,%d], D=%v, L=%d", kMin, kMax, ds, L),
-		Header: []string{"workers", "sweep ms", "speedup", "identical to sequential"},
-		Notes: fmt.Sprintf("N = %d; GOMAXPROCS = %d; the per-D replays are independent given the shared Fixed-Order state",
+		Header: []string{"workers", "sweep ms", "speedup", "identical to sequential", "pooled reuses", "lca memo hit%"},
+		Notes: fmt.Sprintf("N = %d; GOMAXPROCS = %d; the per-D replays are independent given the shared Fixed-Order state; "+
+			"pooled reuses = replays served from the replay-state pool instead of allocating",
 			res.N(), runtime.GOMAXPROCS(0)),
 	}
 	var baseMs float64
@@ -247,6 +248,7 @@ func Fig7Par(e *Env) ([]Table, error) {
 			return nil, err
 		}
 		ms := t0.ms()
+		rs := store.ReplayStats()
 		g := store.Guidance()
 		same := true
 		if baseline == nil {
@@ -262,7 +264,12 @@ func Fig7Par(e *Env) ([]Table, error) {
 				}
 			}
 		}
-		t.Add(workers, fms(ms), fmt.Sprintf("%.2fx", baseMs/ms), same)
+		hitPct := 0.0
+		if probes := rs.LCAMemoHits + rs.LCAMemoMisses; probes > 0 {
+			hitPct = 100 * float64(rs.LCAMemoHits) / float64(probes)
+		}
+		t.Add(workers, fms(ms), fmt.Sprintf("%.2fx", baseMs/ms), same,
+			fmt.Sprintf("%d/%d", rs.PooledReuses, rs.Replays), fmt.Sprintf("%.1f", hitPct))
 	}
 	return []Table{t}, nil
 }
@@ -314,7 +321,7 @@ func Fig8B(e *Env) ([]Table, error) {
 	t := Table{
 		ID:     "fig8b",
 		Title:  "Algorithm time (ms) with vs without Delta-Judgment; k=20, D=2",
-		Header: []string{"L", "with delta ms", "without delta ms", "value (delta)", "value (no delta)", "full evals (delta)", "full evals (no delta)"},
+		Header: []string{"L", "with delta ms", "without delta ms", "value (delta)", "value (no delta)", "full evals (delta)", "full evals (no delta)", "lca memo hits"},
 		Notes: fmt.Sprintf("N = %d; Delta-Judgment is exact up to floating-point "+
 			"tie-breaking among equal-valued merges, so the two values may differ "+
 			"in the last digits", res.N()),
@@ -346,7 +353,7 @@ func Fig8B(e *Env) ([]Table, error) {
 			}
 		}
 		t.Add(L, fms(withMs), fms(t1.ms()), a.AvgValue(), b.AvgValue(),
-			withStats.FullEvals, withoutStats.FullEvals)
+			withStats.FullEvals, withoutStats.FullEvals, withStats.LCAMemoHits)
 	}
 	return []Table{t}, nil
 }

@@ -7,14 +7,17 @@ import (
 )
 
 // Cluster is a pattern together with the answer tuples it covers and their
-// value sum. Clusters are owned by an Index and identified by dense ids.
+// value sum. Clusters are owned by an Index, stored densely in Index.Clusters,
+// and identified by their position there.
 type Cluster struct {
 	// ID is the cluster's position in Index.Clusters.
 	ID int32
+	// Cov lists covered tuple indices into Space.Tuples, ascending. It is a
+	// view into the index's shared coverage arena: clusters do not own their
+	// coverage storage individually.
+	Cov []int32
 	// Pat is the cluster pattern.
 	Pat pattern.Pattern
-	// Cov lists covered tuple indices into Space.Tuples, ascending.
-	Cov []int32
 	// Sum is the total value of covered tuples.
 	Sum float64
 }
@@ -36,13 +39,22 @@ func (c *Cluster) Avg() float64 {
 // useful cluster must cover a top-L tuple or improve the average, and the
 // paper's algorithms (like its prototype) draw candidates from exactly this
 // generated space.
+//
+// The cluster space is stored columnar: cluster records live in one dense
+// slice (no per-cluster heap objects), and all coverage lists share one
+// []int32 arena, with each Cluster.Cov a subslice of it. Both are immutable
+// after BuildIndex, so an Index may be shared freely across goroutines.
 type Index struct {
 	// Space is the underlying answer space.
 	Space *Space
 	// L is the coverage parameter the index was built for.
 	L int
-	// Clusters lists all generated clusters; Clusters[i].ID == i.
-	Clusters []*Cluster
+	// Clusters lists all generated clusters densely; Clusters[i].ID == i.
+	// Pointers into this slice stay valid for the index's lifetime.
+	Clusters []Cluster
+
+	// covArena backs every Cluster.Cov, laid out cluster by cluster.
+	covArena []int32
 
 	byKey     map[string]int32
 	singleton []int32 // rank -> cluster id of the concrete pattern, for ranks < L
@@ -82,6 +94,13 @@ func BuildIndexStats(s *Space, L int, optimized bool) (*Index, BuildStats, error
 	return buildIndex(s, L, optimized)
 }
 
+// covHit is one (cluster, tuple) coverage pair recorded during the optimized
+// tuple-major mapping pass, before the counting sort into the arena.
+type covHit struct {
+	cluster int32
+	tuple   int32
+}
+
 func buildIndex(s *Space, L int, optimized bool) (*Index, BuildStats, error) {
 	var stats BuildStats
 	if L < 1 || L > s.N() {
@@ -108,7 +127,7 @@ func buildIndex(s *Space, L int, optimized bool) (*Index, BuildStats, error) {
 			}
 			id := int32(len(ix.Clusters))
 			ix.byKey[string(scratch)] = id
-			ix.Clusters = append(ix.Clusters, &Cluster{ID: id, Pat: p.Clone()})
+			ix.Clusters = append(ix.Clusters, Cluster{ID: id, Pat: p.Clone()})
 		})
 	}
 	stats.Generated = len(ix.Clusters)
@@ -123,8 +142,18 @@ func buildIndex(s *Space, L int, optimized bool) (*Index, BuildStats, error) {
 	}
 	ix.allStar = ix.byKey[allStar.Key()]
 
-	// Phase 2: map tuples to clusters.
+	// Phase 2: map tuples to clusters, writing all coverage lists into one
+	// shared arena. The optimized path probes tuple-major (each tuple's
+	// generalizations against the generated set), so hits arrive out of
+	// cluster order and are counting-sorted; the naive path scans
+	// cluster-major and appends in place.
+	nc := len(ix.Clusters)
+	counts := make([]int32, nc)
 	if optimized {
+		// Hit volume scales with total coverage (every tuple hits at least
+		// the all-star cluster, top-L tuples hit all 2^m ancestors), so seed
+		// the buffer at coverage scale, not cluster-count scale.
+		hits := make([]covHit, 0, 8*s.N())
 		for ti, t := range s.Tuples {
 			ti32 := int32(ti)
 			val := s.Vals[ti]
@@ -132,21 +161,49 @@ func buildIndex(s *Space, L int, optimized bool) (*Index, BuildStats, error) {
 				stats.MappingOps++
 				scratch = p.AppendKey(scratch[:0])
 				if id, ok := ix.byKey[string(scratch)]; ok {
-					c := ix.Clusters[id]
-					c.Cov = append(c.Cov, ti32)
-					c.Sum += val
+					hits = append(hits, covHit{cluster: id, tuple: ti32})
+					counts[id]++
+					ix.Clusters[id].Sum += val
 				}
 			})
 		}
+		arena := make([]int32, len(hits))
+		next := make([]int32, nc)
+		off := int32(0)
+		for id := 0; id < nc; id++ {
+			next[id] = off
+			off += counts[id]
+		}
+		for _, h := range hits {
+			arena[next[h.cluster]] = h.tuple
+			next[h.cluster]++
+		}
+		ix.covArena = arena
+		for id := 0; id < nc; id++ {
+			end := next[id]
+			start := end - counts[id]
+			ix.Clusters[id].Cov = arena[start:end:end]
+		}
 	} else {
-		for _, c := range ix.Clusters {
+		var arena []int32
+		starts := make([]int32, nc)
+		for ci := range ix.Clusters {
+			c := &ix.Clusters[ci]
+			starts[ci] = int32(len(arena))
 			for ti, t := range s.Tuples {
 				stats.MappingOps++
 				if c.Pat.CoversTuple(t) {
-					c.Cov = append(c.Cov, int32(ti))
+					arena = append(arena, int32(ti))
 					c.Sum += s.Vals[ti]
 				}
 			}
+			counts[ci] = int32(len(arena)) - starts[ci]
+		}
+		// Slice only after the arena stops growing: append may reallocate.
+		ix.covArena = arena
+		for ci := range ix.Clusters {
+			start, end := starts[ci], starts[ci]+counts[ci]
+			ix.Clusters[ci].Cov = arena[start:end:end]
 		}
 	}
 	return ix, stats, nil
@@ -156,7 +213,7 @@ func buildIndex(s *Space, L int, optimized bool) (*Index, BuildStats, error) {
 func (ix *Index) NumClusters() int { return len(ix.Clusters) }
 
 // Cluster returns the cluster with the given id.
-func (ix *Index) Cluster(id int32) *Cluster { return ix.Clusters[id] }
+func (ix *Index) Cluster(id int32) *Cluster { return &ix.Clusters[id] }
 
 // Lookup finds the cluster for a pattern, if it was generated.
 func (ix *Index) Lookup(p pattern.Pattern) (*Cluster, bool) {
@@ -164,18 +221,22 @@ func (ix *Index) Lookup(p pattern.Pattern) (*Cluster, bool) {
 	if !ok {
 		return nil, false
 	}
-	return ix.Clusters[id], true
+	return &ix.Clusters[id], true
 }
 
 // Singleton returns the singleton cluster of the rank-th top tuple
 // (0-based). It panics if rank >= L.
 func (ix *Index) Singleton(rank int) *Cluster {
-	return ix.Clusters[ix.singleton[rank]]
+	return &ix.Clusters[ix.singleton[rank]]
 }
 
 // AllStar returns the trivial cluster (*, ..., *) covering every tuple; it is
 // the paper's Lower Bound baseline solution.
-func (ix *Index) AllStar() *Cluster { return ix.Clusters[ix.allStar] }
+func (ix *Index) AllStar() *Cluster { return &ix.Clusters[ix.allStar] }
+
+// CoverageArenaLen returns the total number of coverage entries stored across
+// all clusters (the shared arena's length), an initialization-space figure.
+func (ix *Index) CoverageArenaLen() int { return len(ix.covArena) }
 
 // LCACluster returns the cluster for LCA(a.Pat, b.Pat). The generated space
 // is closed under LCA (the LCA of two ancestors of top-L tuples is itself an
@@ -189,3 +250,60 @@ func (ix *Index) LCACluster(a, b *Cluster) (*Cluster, error) {
 	}
 	return c, nil
 }
+
+// LCAMemo caches LCA cluster ids for pairs of cluster ids from one Index.
+// The greedy merge loops probe the same pairs repeatedly (a surviving pair is
+// re-evaluated every round until it merges or dies), so memoizing by id pair
+// removes the repeated pattern hashing and map lookups of LCACluster. A memo
+// is index-level state — entries never go stale because the cluster space is
+// immutable — but it is NOT safe for concurrent use; give each worker or
+// replay state its own memo.
+type LCAMemo struct {
+	ix      *Index
+	memo    map[uint64]int32
+	scratch pattern.Pattern
+	key     []byte
+	hits    int
+	misses  int
+}
+
+// NewLCAMemo returns an empty memo bound to the index.
+func (ix *Index) NewLCAMemo() *LCAMemo {
+	return &LCAMemo{
+		ix:      ix,
+		memo:    make(map[uint64]int32),
+		scratch: make(pattern.Pattern, ix.Space.M()),
+		key:     make([]byte, 0, 4*ix.Space.M()),
+	}
+}
+
+// LCAID returns the id of the LCA cluster of the clusters with ids a and b,
+// which must be valid ids of this index (out-of-range ids panic, like any
+// Index.Cluster access). Like LCACluster, the returned error signals a
+// closure violation — the LCA pattern was never generated — which cannot
+// happen for clusters of one index.
+func (m *LCAMemo) LCAID(a, b int32) (int32, error) {
+	if a > b {
+		a, b = b, a
+	}
+	pairKey := uint64(uint32(a))<<32 | uint64(uint32(b))
+	if id, ok := m.memo[pairKey]; ok {
+		m.hits++
+		return id, nil
+	}
+	m.misses++
+	pattern.LCAInto(m.scratch, m.ix.Clusters[a].Pat, m.ix.Clusters[b].Pat)
+	m.key = m.scratch.AppendKey(m.key[:0])
+	id, ok := m.ix.byKey[string(m.key)]
+	if !ok {
+		return 0, fmt.Errorf("lattice: LCA %v of clusters %d and %d not in index", m.scratch, a, b)
+	}
+	m.memo[pairKey] = id
+	return id, nil
+}
+
+// Hits returns the number of memo lookups answered from the cache.
+func (m *LCAMemo) Hits() int { return m.hits }
+
+// Misses returns the number of memo lookups that computed a fresh LCA.
+func (m *LCAMemo) Misses() int { return m.misses }

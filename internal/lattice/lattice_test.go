@@ -268,8 +268,8 @@ func TestLCAClusterClosure(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(16))
 	for i := 0; i < 500; i++ {
-		a := ix.Clusters[rng.Intn(ix.NumClusters())]
-		b := ix.Clusters[rng.Intn(ix.NumClusters())]
+		a := ix.Cluster(int32(rng.Intn(ix.NumClusters())))
+		b := ix.Cluster(int32(rng.Intn(ix.NumClusters())))
 		l, err := ix.LCACluster(a, b)
 		if err != nil {
 			t.Fatalf("LCA closure violated: %v", err)

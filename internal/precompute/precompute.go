@@ -51,7 +51,15 @@ type Store struct {
 	KMin, KMax int
 	Ds         []int
 	perD       map[int]*dEntry
+
+	replayStats summarize.ReplayStats
 }
+
+// ReplayStats reports the sweeper's allocation-avoidance and memoization
+// counters for the run that produced this store: pooled replay-state reuses
+// and LCA memo hit rates. Decoded stores report zeros (the replays ran in a
+// previous process).
+func (s *Store) ReplayStats() summarize.ReplayStats { return s.replayStats }
 
 type dEntry struct {
 	tree *intervaltree.Tree
@@ -104,6 +112,7 @@ func Run(ix *lattice.Index, L, kMin, kMax int, ds []int, opts ...Option) (*Store
 	for i, d := range st.Ds {
 		st.perD[d] = entries[i]
 	}
+	st.replayStats = sw.Stats()
 	return st, nil
 }
 

@@ -1,8 +1,6 @@
 package summarize
 
 import (
-	"sort"
-
 	"qagview/internal/lattice"
 	"qagview/internal/pattern"
 )
@@ -19,35 +17,41 @@ type pairInfo struct {
 // pairSet incrementally maintains the candidate merge pairs over the working
 // solution: pairs whose endpoints left the solution are dropped lazily, and
 // merging appends pairs between the merged cluster and the survivors. This
-// avoids recomputing the quadratic pair set every greedy round.
+// avoids recomputing the quadratic pair set every greedy round. The pairs
+// buffer is retained across init calls, so a pooled replay state rebuilds
+// its pair set without reallocating.
 type pairSet struct {
 	ws    *workset
 	pairs []pairInfo
 }
 
 func newPairSet(ws *workset) *pairSet {
-	ps := &pairSet{ws: ws}
-	ids := sortedIDs(ws)
-	for i, a := range ids {
-		ca := ws.clusters[a]
-		for _, b := range ids[i+1:] {
-			cb := ws.clusters[b]
-			ps.pairs = append(ps.pairs, pairInfo{
-				a: a, b: b, lca: -1,
-				dist: int32(pattern.Distance(ca.Pat, cb.Pat)),
-			})
-		}
-	}
+	ps := &pairSet{}
+	ps.init(ws)
 	return ps
 }
 
-func sortedIDs(ws *workset) []int32 {
-	ids := make([]int32, 0, len(ws.clusters))
-	for id := range ws.clusters {
-		ids = append(ids, id)
+// init rebuilds the pair set over ws's current solution, reusing the pairs
+// buffer.
+func (ps *pairSet) init(ws *workset) {
+	ps.ws = ws
+	ps.pairs = ps.pairs[:0]
+	for i, a := range ws.ids {
+		ca := ws.ix.Cluster(a)
+		for _, b := range ws.ids[i+1:] {
+			ps.pairs = append(ps.pairs, pairInfo{
+				a: a, b: b, lca: -1,
+				dist: int32(pattern.Distance(ca.Pat, ws.ix.Cluster(b).Pat)),
+			})
+		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+}
+
+// sortedIDs returns a fresh copy of the current solution's cluster ids,
+// ascending, for callers that outlive the workset's next mutation (sweep
+// snapshots).
+func sortedIDs(ws *workset) []int32 {
+	return append([]int32(nil), ws.ids...)
 }
 
 // evaluator scores a candidate merged cluster; higher is better. The
@@ -58,43 +62,35 @@ type evaluator func(lca *lattice.Cluster) float64
 // best scans the live pairs, compacting out dead ones, and returns the pair
 // maximizing eval among those passing the filter (nil filter accepts all
 // pairs, as in the second phase of Algorithm 1). ok is false when no live
-// pair passes the filter.
+// pair passes the filter. The LCA of a pair is filled lazily, only once a
+// pair survives compaction and passes the filter for the first time.
 func (ps *pairSet) best(filter func(dist int) bool, eval evaluator) (pairInfo, bool) {
 	alive := ps.pairs[:0]
 	var best pairInfo
 	bestVal := 0.0
 	found := false
 	for _, pi := range ps.pairs {
-		if _, ok := ps.ws.clusters[pi.a]; !ok {
-			continue
+		if !ps.ws.has(pi.a) || !ps.ws.has(pi.b) {
+			continue // an endpoint was merged away; drop the pair
 		}
-		if _, ok := ps.ws.clusters[pi.b]; !ok {
-			continue
-		}
-		if pi.lca >= 0 {
-			alive = append(alive, pi)
-		} else {
-			alive = append(alive, pi) // lca filled below via index into alive
-		}
-		if filter != nil && !filter(int(pi.dist)) {
-			continue
-		}
-		idx := len(alive) - 1
-		if alive[idx].lca < 0 {
-			lca, err := ps.ws.ix.LCACluster(ps.ws.clusters[pi.a], ps.ws.clusters[pi.b])
-			if err != nil {
-				// Clusters in a workset always come from its index; treat a
-				// miss as impossible-by-construction.
-				panic(err)
+		if filter == nil || filter(int(pi.dist)) {
+			if pi.lca < 0 {
+				id, err := ps.ws.lca.LCAID(pi.a, pi.b)
+				if err != nil {
+					// Clusters in a workset always come from its index; treat a
+					// miss as impossible-by-construction.
+					panic(err)
+				}
+				pi.lca = id
 			}
-			alive[idx].lca = lca.ID
+			v := eval(ps.ws.ix.Cluster(pi.lca))
+			if !found || v > bestVal {
+				found = true
+				bestVal = v
+				best = pi
+			}
 		}
-		v := eval(ps.ws.ix.Cluster(alive[idx].lca))
-		if !found || v > bestVal {
-			found = true
-			bestVal = v
-			best = alive[idx]
-		}
+		alive = append(alive, pi)
 	}
 	ps.pairs = alive
 	return best, found
@@ -104,16 +100,16 @@ func (ps *pairSet) best(filter func(dist int) bool, eval evaluator) (pairInfo, b
 // LCA covers) with the LCA cluster and adds candidate pairs between the new
 // cluster and the survivors.
 func (ps *pairSet) merge(pi pairInfo) error {
-	a, b := ps.ws.clusters[pi.a], ps.ws.clusters[pi.b]
+	a, b := ps.ws.ix.Cluster(pi.a), ps.ws.ix.Cluster(pi.b)
 	lca, _, err := ps.ws.merge(a, b)
 	if err != nil {
 		return err
 	}
-	for _, id := range sortedIDs(ps.ws) {
+	for _, id := range ps.ws.ids {
 		if id == lca.ID {
 			continue
 		}
-		other := ps.ws.clusters[id]
+		other := ps.ws.ix.Cluster(id)
 		x, y := lca.ID, id
 		if x > y {
 			x, y = y, x
@@ -200,6 +196,21 @@ func BottomUpMaxLCA(ix *lattice.Index, p Params, opts ...Option) (*Solution, err
 	return finish(ws, &cfg), nil
 }
 
+// levelStartLevel clamps the seed level of BottomUpLevelStart to [0, m]: the
+// variant seeds with each top tuple's ancestor at level D-1, which is below
+// the lattice for D = 0 and above it for D > m+1 (parameter validation keeps
+// public callers at D <= m, but the clamp makes the helper total).
+func levelStartLevel(D, m int) int {
+	level := D - 1
+	if level < 0 {
+		level = 0
+	}
+	if level > m {
+		level = m
+	}
+	return level
+}
+
 // BottomUpLevelStart is the Section 5.1 variant that seeds the working
 // solution with, for each top-L tuple, its ancestor at level D-1 (which
 // already satisfies the distance constraint between distinct seeds derived
@@ -212,13 +223,7 @@ func BottomUpLevelStart(ix *lattice.Index, p Params, opts ...Option) (*Solution,
 	if err := p.Validate(ix); err != nil {
 		return nil, err
 	}
-	level := p.D - 1
-	if level < 0 {
-		level = 0
-	}
-	if level > ix.Space.M() {
-		level = ix.Space.M()
-	}
+	level := levelStartLevel(p.D, ix.Space.M())
 	ws := newWorkset(ix, cfg.delta)
 	ws.obj = cfg.obj
 	for rank := 0; rank < p.L; rank++ {
@@ -235,8 +240,8 @@ func BottomUpLevelStart(ix *lattice.Index, p Params, opts ...Option) (*Solution,
 		}
 		// Skip seeds covered by an existing seed to keep the antichain.
 		skip := false
-		for _, cur := range ws.clusters {
-			if cur.Pat.Covers(c.Pat) {
+		for _, id := range ws.ids {
+			if ws.ix.Clusters[id].Pat.Covers(c.Pat) {
 				skip = true
 				break
 			}

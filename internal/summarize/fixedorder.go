@@ -12,15 +12,15 @@ import (
 func fixedOrderProcess(ws *workset, p Params, cand *lattice.Cluster) error {
 	// Subsumption: if an existing cluster covers cand, everything cand
 	// covers is already covered and adding it would break the antichain.
-	for _, c := range ws.clusters {
-		if c.Pat.Covers(cand.Pat) {
+	for _, id := range ws.ids {
+		if ws.ix.Clusters[id].Pat.Covers(cand.Pat) {
 			return nil
 		}
 	}
 	if ws.size() < p.K {
 		minDist := int(^uint(0) >> 1)
-		for _, c := range ws.clusters {
-			if d := pattern.Distance(cand.Pat, c.Pat); d < minDist {
+		for _, id := range ws.ids {
+			if d := pattern.Distance(cand.Pat, ws.ix.Clusters[id].Pat); d < minDist {
 				minDist = d
 			}
 		}
@@ -41,15 +41,16 @@ func fixedOrderProcess(ws *workset, p Params, cand *lattice.Cluster) error {
 func mergeBestPartner(ws *workset, cand *lattice.Cluster, filter func(dist int) bool) error {
 	var best *lattice.Cluster
 	bestVal := 0.0
-	for _, id := range sortedIDs(ws) {
-		c := ws.clusters[id]
+	for _, id := range ws.ids {
+		c := ws.ix.Cluster(id)
 		if filter != nil && !filter(pattern.Distance(cand.Pat, c.Pat)) {
 			continue
 		}
-		lca, err := ws.ix.LCACluster(c, cand)
+		lcaID, err := ws.lca.LCAID(c.ID, cand.ID)
 		if err != nil {
 			return err
 		}
+		lca := ws.ix.Cluster(lcaID)
 		v := ws.evalAdd(lca)
 		if best == nil || v > bestVal {
 			best = lca

@@ -1,0 +1,8 @@
+//go:build race
+
+package summarize
+
+// raceEnabled reports whether the race detector is active: sync.Pool
+// deliberately drops Put items at random under -race, so tests must not
+// assert exact pool-reuse counts there.
+const raceEnabled = true

@@ -139,12 +139,16 @@ func Validate(ix *lattice.Index, p Params, sol *Solution) error {
 }
 
 // Stats reports evaluation-work counters from one algorithm run, for the
-// Delta-Judgment ablation (Figure 8b): FullEvals counts candidate
-// evaluations that scanned the candidate's full coverage list; DeltaEvals
-// counts evaluations answered from the Delta-Judgment cache.
+// Delta-Judgment ablation (Figure 8b) and the dense-engine memoization:
+// FullEvals counts candidate evaluations that scanned the candidate's full
+// coverage list; DeltaEvals counts evaluations answered from the
+// Delta-Judgment cache; LCAMemoHits/LCAMemoMisses count LCA-pair lookups
+// answered from the run's id-indexed memo vs computed against the lattice.
 type Stats struct {
-	FullEvals  int
-	DeltaEvals int
+	FullEvals     int
+	DeltaEvals    int
+	LCAMemoHits   int
+	LCAMemoMisses int
 }
 
 // Objective selects the optimization target of the greedy algorithms.
@@ -205,6 +209,8 @@ func finish(ws *workset, cfg *config) *Solution {
 	if cfg.stats != nil {
 		cfg.stats.FullEvals += ws.evalFull
 		cfg.stats.DeltaEvals += ws.evalDelta
+		cfg.stats.LCAMemoHits += ws.lca.Hits()
+		cfg.stats.LCAMemoMisses += ws.lca.Misses()
 	}
 	return ws.solution()
 }

@@ -11,7 +11,7 @@ import (
 )
 
 // buildSpace constructs a space from rows/vals with generated attr names.
-func buildSpace(t *testing.T, m int, rows [][]string, vals []float64) *lattice.Space {
+func buildSpace(t testing.TB, m int, rows [][]string, vals []float64) *lattice.Space {
 	t.Helper()
 	attrs := make([]string, m)
 	for i := range attrs {
@@ -27,7 +27,7 @@ func buildSpace(t *testing.T, m int, rows [][]string, vals []float64) *lattice.S
 // randomIndex builds an index over a random categorical space with planted
 // high-value structure (a couple of attribute values correlate with high
 // values) so summaries are non-trivial.
-func randomIndex(t *testing.T, seed int64, n, m, dom, L int) *lattice.Index {
+func randomIndex(t testing.TB, seed int64, n, m, dom, L int) *lattice.Index {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	if pow(dom, m) < n {
@@ -599,6 +599,90 @@ func TestMarginalStaleCacheRecovers(t *testing.T) {
 	ws.add(ix.Singleton(1))
 	ws.add(ix.Singleton(2))
 	check("two rounds stale (full rescan)")
+}
+
+func TestEvalAddMinSizeObjective(t *testing.T) {
+	// Under MinSize, evalAdd must score a candidate as the negated tentative
+	// coverage count, so a candidate covering fewer new tuples always wins,
+	// regardless of values; under MaxAvg it is the tentative average.
+	ix := randomIndex(t, 79, 60, 4, 4, 20)
+	ws := newWorkset(ix, true)
+	ws.obj = MinSize
+	ws.add(ix.Singleton(0))
+	small := ix.Singleton(1) // covers at least its own tuple
+	big := ix.AllStar()      // covers everything
+	_, smallCnt := ws.marginal(small)
+	_, bigCnt := ws.marginal(big)
+	if got, want := ws.evalAdd(small), -float64(ws.cnt+smallCnt); got != want {
+		t.Errorf("MinSize evalAdd(small) = %v, want %v", got, want)
+	}
+	if got, want := ws.evalAdd(big), -float64(ws.cnt+bigCnt); got != want {
+		t.Errorf("MinSize evalAdd(big) = %v, want %v", got, want)
+	}
+	if ws.evalAdd(small) <= ws.evalAdd(big) {
+		t.Error("MinSize must prefer the candidate covering fewer elements")
+	}
+	wsMax := newWorkset(ix, true)
+	wsMax.add(ix.Singleton(0))
+	dsum, dcnt := wsMax.marginal(big)
+	if got, want := wsMax.evalAdd(big), (wsMax.sum+dsum)/float64(wsMax.cnt+dcnt); got != want {
+		t.Errorf("MaxAvg evalAdd = %v, want %v", got, want)
+	}
+}
+
+func TestLevelStartLevelClamps(t *testing.T) {
+	// The seed level is D-1 clamped to [0, m]: D=0 would be level -1 and a
+	// (hypothetical) D > m+1 would star more attributes than exist.
+	cases := []struct{ D, m, want int }{
+		{0, 4, 0},  // D-1 < 0 clamps to 0
+		{1, 4, 0},  // concrete tuples
+		{3, 4, 2},  // interior
+		{4, 4, 3},  // largest D public validation admits
+		{5, 4, 4},  // level would be m: all-star seeds
+		{9, 4, 4},  // D-1 > m clamps to m
+		{0, 0, 0},  // degenerate zero-attribute clamp ordering
+		{99, 0, 0}, // both clamps at once
+	}
+	for _, c := range cases {
+		if got := levelStartLevel(c.D, c.m); got != c.want {
+			t.Errorf("levelStartLevel(%d, %d) = %d, want %d", c.D, c.m, got, c.want)
+		}
+	}
+}
+
+func TestBottomUpLevelStartBoundaries(t *testing.T) {
+	// The public boundary settings: D = 0 (seed level clamps to 0, i.e. the
+	// plain singletons) and D = m (seeds at level m-1). Both must produce
+	// solutions that validate.
+	ix := randomIndex(t, 80, 100, 4, 4, 25)
+	m := ix.Space.M()
+	for _, p := range []Params{
+		{K: 5, L: 25, D: 0},
+		{K: 5, L: 25, D: m},
+		{K: 1, L: 25, D: m},
+	} {
+		sol, err := BottomUpLevelStart(ix, p)
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		if err := Validate(ix, p, sol); err != nil {
+			t.Errorf("%+v: infeasible: %v", p, err)
+		}
+	}
+	// D = 0 clamps to the singleton start, so it must agree with BottomUp
+	// (identical seeds, identical phases).
+	p := Params{K: 6, L: 25, D: 0}
+	ls, err := BottomUpLevelStart(ix, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bu, err := BottomUp(ix, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSolution(ls, bu) {
+		t.Error("BottomUpLevelStart at D=0 should match BottomUp (seed level clamps to singletons)")
+	}
 }
 
 func TestBruteForceLTooLarge(t *testing.T) {

@@ -3,6 +3,7 @@ package summarize
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"qagview/internal/lattice"
 )
@@ -12,15 +13,49 @@ import (
 // for the largest k of interest and no distance constraint), and its output
 // is reused as the starting state of the Bottom-Up phase for every (k, D)
 // combination.
+//
+// Replays draw their mutable state from an internal sync.Pool of resettable
+// replay states, so a (k, D) precompute grid reuses worksets, coverage
+// bitmaps, Delta-Judgment caches, pair buffers, and LCA memos across Ds
+// instead of reallocating them per replay.
 type Sweeper struct {
 	ix   *Index
 	cfg  config
 	kMax int
 	base *workset // state after the shared Fixed-Order phase
+
+	pool sync.Pool // of *replayState
+
+	mu    sync.Mutex
+	stats ReplayStats
 }
 
 // Index aliases lattice.Index to keep signatures in this package short.
 type Index = lattice.Index
+
+// replayState is the reusable mutable state of one Bottom-Up replay: a dense
+// workset plus the pair buffer of its pair set.
+type replayState struct {
+	ws *workset
+	ps pairSet
+}
+
+// ReplayStats aggregates allocation-avoidance and memoization counters over
+// a sweeper's replays, for the precompute experiments.
+type ReplayStats struct {
+	// Replays counts RunD calls that checked out a replay state (errored
+	// replays included — their state still returns to the pool).
+	Replays int
+	// PooledReuses counts replays that reused a pooled state instead of
+	// allocating a fresh one (allocations avoided: one full workset — dense
+	// membership and cache arrays, two bitmaps, pair buffer, LCA memo — per
+	// reuse).
+	PooledReuses int
+	// LCAMemoHits and LCAMemoMisses count LCA lookups answered from the
+	// id-indexed memo vs computed against the lattice.
+	LCAMemoHits   int
+	LCAMemoMisses int
+}
 
 // SweepState is one snapshot of the Bottom-Up phase: the solution in effect
 // for every k in [Size, prevSize-1].
@@ -88,6 +123,25 @@ func NewSweeper(ix *Index, L, kMax int, opts ...Option) (*Sweeper, error) {
 // PoolSize returns the number of clusters after the shared phase.
 func (sw *Sweeper) PoolSize() int { return sw.base.size() }
 
+// Stats returns a snapshot of the sweeper's replay counters. It is safe to
+// call concurrently with RunD.
+func (sw *Sweeper) Stats() ReplayStats {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.stats
+}
+
+// getState fetches a pooled replay state, or allocates one on first use (and
+// whenever more replays run concurrently than states have been pooled).
+func (sw *Sweeper) getState() (st *replayState, reused bool) {
+	if v := sw.pool.Get(); v != nil {
+		return v.(*replayState), true
+	}
+	ws := newWorkset(sw.ix, sw.cfg.delta)
+	ws.obj = sw.cfg.obj
+	return &replayState{ws: ws}, false
+}
+
 // RunD replays the Bottom-Up phase for one distance constraint D from the
 // shared state: first enforcing pairwise distance, then merging down to
 // kMin, recording a state after enforcement and after every merge. The
@@ -95,8 +149,9 @@ func (sw *Sweeper) PoolSize() int { return sw.base.size() }
 // cluster disappears it never reappears, so each cluster's ks form one
 // interval.
 //
-// RunD is safe for concurrent use: each call works on its own clone of the
-// shared Fixed-Order state and only reads the base workset and the index.
+// RunD is safe for concurrent use: each call checks a private replay state
+// out of the pool, resets it from the shared Fixed-Order state (which it
+// only reads), and returns it to the pool when done.
 func (sw *Sweeper) RunD(D, kMin int) (*SweepStates, error) {
 	if D < 0 || D > sw.ix.Space.M() {
 		return nil, fmt.Errorf("summarize: D = %d out of range [0, %d]", D, sw.ix.Space.M())
@@ -104,8 +159,25 @@ func (sw *Sweeper) RunD(D, kMin int) (*SweepStates, error) {
 	if kMin < 1 {
 		return nil, fmt.Errorf("summarize: kMin = %d, want >= 1", kMin)
 	}
-	ws := sw.base.clone()
-	ps := newPairSet(ws)
+	st, reused := sw.getState()
+	ws := st.ws
+	ws.resetFrom(sw.base)
+	memoHits0, memoMisses0 := ws.lca.Hits(), ws.lca.Misses()
+	// Return the state to the pool and record counters on every exit path,
+	// so an errored replay neither leaks its state nor skews the stats.
+	defer func() {
+		sw.mu.Lock()
+		sw.stats.Replays++
+		if reused {
+			sw.stats.PooledReuses++
+		}
+		sw.stats.LCAMemoHits += ws.lca.Hits() - memoHits0
+		sw.stats.LCAMemoMisses += ws.lca.Misses() - memoMisses0
+		sw.mu.Unlock()
+		sw.pool.Put(st)
+	}()
+	st.ps.init(ws)
+	ps := &st.ps
 	// Phase 1: enforce distance D.
 	for {
 		pi, ok := ps.best(func(d int) bool { return d < D }, ws.evalAdd)
@@ -135,24 +207,4 @@ func (sw *Sweeper) RunD(D, kMin int) (*SweepStates, error) {
 		snapshot()
 	}
 	return out, nil
-}
-
-// clone copies the mutable solution state (clusters, coverage, objective)
-// with a fresh Delta-Judgment cache, so per-D replays are independent and
-// may run concurrently: the clone shares only the immutable index and the
-// *lattice.Cluster values (never mutated after BuildIndex). The cache map,
-// its *deltaEntry values (mutated in place by marginal), the lastDelta
-// slice, and the coverage bitmap must all be unshared — the cache starts
-// empty (which also makes lastDelta/round irrelevant, as no entry can be
-// one round stale) and the bitmap is deep-copied.
-func (ws *workset) clone() *workset {
-	c := newWorkset(ws.ix, ws.delta)
-	c.obj = ws.obj
-	for id, cl := range ws.clusters {
-		c.clusters[id] = cl
-	}
-	c.covered = ws.covered.clone()
-	c.sum = ws.sum
-	c.cnt = ws.cnt
-	return c
 }

@@ -1,0 +1,44 @@
+package summarize
+
+import "testing"
+
+// BenchmarkSweeperRunD measures one pooled Bottom-Up replay in isolation —
+// the unit the precompute grid runs hundreds of times. After the first
+// iteration every replay reuses a pooled state, so allocs/op reports the
+// steady-state allocation cost of a replay (trace snapshots only), the
+// figure the dense-state refactor targets.
+func BenchmarkSweeperRunD(b *testing.B) {
+	ix := randomIndex(b, 31, 400, 5, 4, 80)
+	sw, err := NewSweeper(ix, 80, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sw.RunD(2, 1); err != nil { // warm the pool
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sw.RunD(1+i%4, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweeperRunDReference is the same replay through the reference
+// (map-based, clone-per-replay) engine, for before/after comparison in one
+// binary.
+func BenchmarkSweeperRunDReference(b *testing.B) {
+	ix := randomIndex(b, 31, 400, 5, 4, 80)
+	base := newRefWorkset(ix, true)
+	if err := refFixedOrderPhase(base, Params{K: 40, L: 80, D: 0}, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := refRunD(base, 1+i%4, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

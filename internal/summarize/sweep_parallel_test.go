@@ -33,11 +33,12 @@ func TestSolutionForBinarySearch(t *testing.T) {
 	}
 }
 
-// TestWorksetCloneIsolation audits that clone shares no mutable state with
-// the base workset: running a full Bottom-Up replay on the clone must leave
-// the base's clusters, coverage bitmap, objective accumulators, and
-// Delta-Judgment cache untouched.
-func TestWorksetCloneIsolation(t *testing.T) {
+// TestPooledReplayIsolation audits the pooled replay states: a replay must
+// leave the shared base workset untouched, a reused (reset) state must
+// reproduce a fresh state's trace exactly, and resetFrom must rewind a
+// heavily mutated workset to the base solution with an invalidated
+// Delta-Judgment cache.
+func TestPooledReplayIsolation(t *testing.T) {
 	ix := randomIndex(t, 21, 120, 4, 4, 25)
 	sw, err := NewSweeper(ix, 25, 10)
 	if err != nil {
@@ -47,33 +48,47 @@ func TestWorksetCloneIsolation(t *testing.T) {
 	wantIDs := sortedIDs(base)
 	wantSum, wantCnt, wantRound := base.sum, base.cnt, base.round
 	wantCovered := base.covered.clone()
-	wantCacheLen := len(base.cache)
-	wantLastDelta := append([]int32(nil), base.lastDelta...)
 
-	c := base.clone()
-	if len(c.cache) != 0 {
-		t.Errorf("clone cache has %d entries, want 0 (a shared or copied cache would leak *deltaEntry mutations)", len(c.cache))
-	}
-	if c.lastDelta != nil {
-		t.Error("clone lastDelta is non-nil; it must not alias the base's slice")
-	}
-
-	// Mutate the clone heavily: enforce a distance constraint and merge all
-	// the way down to a single cluster.
-	if _, err := sw.RunD(2, 1); err != nil {
+	// First replay allocates a state; later replays must reuse it (the calls
+	// are sequential, so the pool always has the state back by the next Get).
+	first, err := sw.RunD(2, 1)
+	if err != nil {
 		t.Fatal(err)
 	}
-	ps := newPairSet(c)
-	for c.size() > 1 {
-		pi, ok := ps.best(nil, c.evalAdd)
-		if !ok {
-			break
-		}
-		if err := ps.merge(pi); err != nil {
+	for i := 0; i < 3; i++ {
+		again, err := sw.RunD(2, 1)
+		if err != nil {
 			t.Fatal(err)
 		}
+		if len(again.States) != len(first.States) {
+			t.Fatalf("replay %d: %d states, first replay had %d", i, len(again.States), len(first.States))
+		}
+		for j := range first.States {
+			sa, sb := &first.States[j], &again.States[j]
+			if sa.Size != sb.Size || sa.Sum != sb.Sum || sa.Count != sb.Count {
+				t.Fatalf("replay %d state %d differs: %+v vs %+v", i, j, sa, sb)
+			}
+			for x := range sa.Clusters {
+				if sa.Clusters[x] != sb.Clusters[x] {
+					t.Fatalf("replay %d state %d cluster %d differs", i, j, x)
+				}
+			}
+		}
+	}
+	st := sw.Stats()
+	if st.Replays != 4 {
+		t.Errorf("Replays = %d, want 4", st.Replays)
+	}
+	if st.PooledReuses > 3 {
+		t.Errorf("PooledReuses = %d, want <= 3 (only 3 replays could possibly reuse)", st.PooledReuses)
+	}
+	// sync.Pool drops Put items at random under the race detector, so the
+	// exact count only holds in a normal build.
+	if !raceEnabled && st.PooledReuses != 3 {
+		t.Errorf("PooledReuses = %d, want 3 (sequential replays must reuse the pooled state)", st.PooledReuses)
 	}
 
+	// The base must be untouched by all of it.
 	gotIDs := sortedIDs(base)
 	if len(gotIDs) != len(wantIDs) {
 		t.Fatalf("base cluster count changed: %d -> %d", len(wantIDs), len(gotIDs))
@@ -92,11 +107,60 @@ func TestWorksetCloneIsolation(t *testing.T) {
 			t.Fatalf("base coverage bitmap word %d changed", i)
 		}
 	}
-	if len(base.cache) != wantCacheLen {
-		t.Errorf("base cache size changed: %d -> %d", wantCacheLen, len(base.cache))
+
+	// resetFrom rewinds a mutated workset: merge a pooled state down to one
+	// cluster, reset it, and check it mirrors the base with a cold cache.
+	rs, _ := sw.getState()
+	rs.ws.resetFrom(base)
+	ps := newPairSet(rs.ws)
+	for rs.ws.size() > 1 {
+		pi, ok := ps.best(nil, rs.ws.evalAdd)
+		if !ok {
+			break
+		}
+		if err := ps.merge(pi); err != nil {
+			t.Fatal(err)
+		}
 	}
-	if len(base.lastDelta) != len(wantLastDelta) {
-		t.Errorf("base lastDelta length changed: %d -> %d", len(wantLastDelta), len(base.lastDelta))
+	rs.ws.resetFrom(base)
+	if got := sortedIDs(rs.ws); len(got) != len(wantIDs) {
+		t.Fatalf("reset state has %d clusters, want %d", len(got), len(wantIDs))
+	} else {
+		for i := range wantIDs {
+			if got[i] != wantIDs[i] {
+				t.Fatalf("reset state cluster %d = %d, want %d", i, got[i], wantIDs[i])
+			}
+		}
+	}
+	if rs.ws.sum != wantSum || rs.ws.cnt != wantCnt || rs.ws.round != 0 {
+		t.Errorf("reset state accumulators: sum %v cnt %d round %d, want %v %d 0",
+			rs.ws.sum, rs.ws.cnt, rs.ws.round, wantSum, wantCnt)
+	}
+	for i := range wantCovered {
+		if rs.ws.covered[i] != wantCovered[i] {
+			t.Fatalf("reset state coverage word %d differs from base", i)
+		}
+	}
+	for id := range rs.ws.cacheGen {
+		if rs.ws.cacheGen[id] == rs.ws.gen {
+			t.Fatalf("reset state has a live Delta-Judgment entry for cluster %d; the cache must start cold", id)
+		}
+	}
+	// A marginal computed on the reset state must match a direct scan
+	// against the base coverage (the stamp bump must have invalidated any
+	// entry left over from the mutation run).
+	probe := ix.AllStar()
+	var wantDSum float64
+	var wantDCnt int
+	for _, tt := range probe.Cov {
+		if !base.covered.has(tt) {
+			wantDSum += ix.Space.Vals[tt]
+			wantDCnt++
+		}
+	}
+	gotDSum, gotDCnt := rs.ws.marginal(probe)
+	if gotDCnt != wantDCnt || gotDSum != wantDSum {
+		t.Fatalf("marginal on reset state = (%v, %d), want (%v, %d)", gotDSum, gotDCnt, wantDSum, wantDCnt)
 	}
 }
 

@@ -11,20 +11,40 @@ import (
 // count, and the Delta-Judgment cache (Algorithm 2 in the paper) that lets
 // candidate evaluations reuse marginal-benefit computations from previous
 // rounds.
+//
+// All per-cluster state is kept dense, indexed by cluster id, instead of in
+// maps: membership and the Delta-Judgment cache are generation-stamped arrays
+// (one O(1) bump invalidates everything, so a pooled workset resets without
+// reallocating), and the solution itself is maintained as a sorted id slice.
+// This makes a workset fully reusable across replays — see resetFrom.
 type workset struct {
 	ix    *lattice.Index
 	delta bool
 	obj   Objective
 
-	clusters map[int32]*lattice.Cluster // current solution, by cluster id
-	covered  bitset
-	sum      float64
-	cnt      int
+	// ids is the current solution as cluster ids, sorted ascending.
+	ids []int32
+	// inSol stamps solution membership: inSol[id] == gen means id is in ids.
+	inSol []uint32
+	gen   uint32
+
+	covered bitset
+	sum     float64
+	cnt     int
 
 	round     int     // merge round counter; advances on every mutation
 	lastDelta []int32 // tuples newly covered in the previous round, ascending
+	ldBits    bitset  // bitset over lastDelta, for O(1) membership probes
 
-	cache map[int32]*deltaEntry // candidate cluster id -> cached marginals
+	// cache is the Delta-Judgment cache, dense by candidate cluster id; an
+	// entry is live only while cacheGen[id] == gen.
+	cache    []deltaEntry
+	cacheGen []uint32
+
+	// lca memoizes LCA cluster ids for the pairs the merge loops probe.
+	lca *lattice.LCAMemo
+
+	removedBuf []int32 // scratch backing the slice returned by add
 
 	// evalFull counts full coverage scans, for the Figure 8b ablation.
 	evalFull int
@@ -35,23 +55,33 @@ type workset struct {
 // deltaEntry caches, for a candidate cluster c, the sum and count of tuples
 // in cov(c) that were NOT covered by the solution as of round asOf.
 type deltaEntry struct {
-	asOf int
+	asOf int32
+	dcnt int32
 	dsum float64
-	dcnt int
 }
 
 func newWorkset(ix *lattice.Index, useDelta bool) *workset {
-	return &workset{
-		ix:       ix,
-		delta:    useDelta,
-		clusters: make(map[int32]*lattice.Cluster),
-		covered:  newBitset(ix.Space.N()),
-		cache:    make(map[int32]*deltaEntry),
+	ws := &workset{
+		ix:      ix,
+		delta:   useDelta,
+		gen:     1,
+		inSol:   make([]uint32, ix.NumClusters()),
+		covered: newBitset(ix.Space.N()),
+		ldBits:  newBitset(ix.Space.N()),
+		lca:     ix.NewLCAMemo(),
 	}
+	if useDelta {
+		ws.cache = make([]deltaEntry, ix.NumClusters())
+		ws.cacheGen = make([]uint32, ix.NumClusters())
+	}
+	return ws
 }
 
 // size returns the number of clusters in the current solution.
-func (ws *workset) size() int { return len(ws.clusters) }
+func (ws *workset) size() int { return len(ws.ids) }
+
+// has reports whether the cluster id is in the current solution.
+func (ws *workset) has(id int32) bool { return ws.inSol[id] == ws.gen }
 
 // avg returns the current objective value.
 func (ws *workset) avg() float64 {
@@ -61,30 +91,48 @@ func (ws *workset) avg() float64 {
 	return ws.sum / float64(ws.cnt)
 }
 
+// ldBitsetScanFactor bounds when the one-round-stale cache update scans the
+// candidate's coverage list against the last-delta bitset: a linear pass is
+// cache-friendly but proportional to |cov(c)|, so for clusters much larger
+// than the delta it is cheaper to test each delta tuple against the cluster
+// pattern directly (cov(c) is by construction exactly the tuples the pattern
+// covers). Both paths enumerate the intersection in ascending tuple order,
+// so the floating-point subtraction order — and hence the result — is
+// identical.
+const ldBitsetScanFactor = 32
+
 // marginal returns the sum and count of tuples in cov(c) not yet covered.
 // With Delta-Judgment enabled it reuses the cached marginals when they are at
 // most one round stale, subtracting the contribution of the tuples that were
 // newly covered last round (the list T_j \ T_{j-1} of Algorithm 2); otherwise
 // it falls back to a full scan of cov(c) against the coverage bitmap.
 func (ws *workset) marginal(c *lattice.Cluster) (dsum float64, dcnt int) {
-	if ws.delta {
-		if e, ok := ws.cache[c.ID]; ok {
-			switch {
-			case e.asOf == ws.round:
-				ws.evalDelta++
-				return e.dsum, e.dcnt
-			case e.asOf == ws.round-1:
-				// Subtract tuples covered last round that c also covers.
-				for _, t := range ws.lastDelta {
-					if containsSorted(c.Cov, t) {
+	if ws.delta && ws.cacheGen[c.ID] == ws.gen {
+		e := &ws.cache[c.ID]
+		switch {
+		case int(e.asOf) == ws.round:
+			ws.evalDelta++
+			return e.dsum, int(e.dcnt)
+		case int(e.asOf) == ws.round-1:
+			if len(c.Cov) <= ldBitsetScanFactor*len(ws.lastDelta) {
+				for _, t := range c.Cov {
+					if ws.ldBits.has(t) {
 						e.dsum -= ws.ix.Space.Vals[t]
 						e.dcnt--
 					}
 				}
-				e.asOf = ws.round
-				ws.evalDelta++
-				return e.dsum, e.dcnt
+			} else {
+				tuples := ws.ix.Space.Tuples
+				for _, t := range ws.lastDelta {
+					if c.Pat.CoversTuple(tuples[t]) {
+						e.dsum -= ws.ix.Space.Vals[t]
+						e.dcnt--
+					}
+				}
 			}
+			e.asOf = int32(ws.round)
+			ws.evalDelta++
+			return e.dsum, int(e.dcnt)
 		}
 	}
 	ws.evalFull++
@@ -95,7 +143,8 @@ func (ws *workset) marginal(c *lattice.Cluster) (dsum float64, dcnt int) {
 		}
 	}
 	if ws.delta {
-		ws.cache[c.ID] = &deltaEntry{asOf: ws.round, dsum: dsum, dcnt: dcnt}
+		ws.cache[c.ID] = deltaEntry{asOf: int32(ws.round), dsum: dsum, dcnt: int32(dcnt)}
+		ws.cacheGen[c.ID] = ws.gen
 	}
 	return dsum, dcnt
 }
@@ -115,63 +164,99 @@ func (ws *workset) evalAdd(c *lattice.Cluster) float64 {
 	return (ws.sum + dsum) / float64(ws.cnt+dcnt)
 }
 
-// containsSorted reports whether the ascending slice cov contains t.
-func containsSorted(cov []int32, t int32) bool {
-	i := sort.Search(len(cov), func(i int) bool { return cov[i] >= t })
-	return i < len(cov) && cov[i] == t
-}
-
 // add inserts cluster c into the solution, removing any existing clusters
 // that c covers (the Merge procedure's incomparability maintenance), and
-// extends the covered set. It returns the ids of removed clusters.
+// extends the covered set. It returns the ids of removed clusters, ascending;
+// the slice aliases internal scratch and is only valid until the next add.
 func (ws *workset) add(c *lattice.Cluster) (removed []int32) {
-	for id, old := range ws.clusters {
-		if id != c.ID && c.Pat.Covers(old.Pat) {
+	removed = ws.removedBuf[:0]
+	keep := ws.ids[:0]
+	for _, id := range ws.ids {
+		if id != c.ID && c.Pat.Covers(ws.ix.Clusters[id].Pat) {
+			ws.inSol[id] = 0
 			removed = append(removed, id)
-			delete(ws.clusters, id)
+		} else {
+			keep = append(keep, id)
 		}
 	}
-	ws.clusters[c.ID] = c
-	var newly []int32
+	ws.ids = keep
+	if !ws.has(c.ID) {
+		ws.inSol[c.ID] = ws.gen
+		pos := sort.Search(len(ws.ids), func(i int) bool { return ws.ids[i] >= c.ID })
+		ws.ids = append(ws.ids, 0)
+		copy(ws.ids[pos+1:], ws.ids[pos:])
+		ws.ids[pos] = c.ID
+	}
+	for _, t := range ws.lastDelta {
+		ws.ldBits.unset(t)
+	}
+	newly := ws.lastDelta[:0]
 	for _, t := range c.Cov {
 		if !ws.covered.has(t) {
 			ws.covered.set(t)
 			ws.sum += ws.ix.Space.Vals[t]
 			ws.cnt++
+			ws.ldBits.set(t)
 			newly = append(newly, t)
 		}
 	}
 	ws.round++
 	ws.lastDelta = newly
+	ws.removedBuf = removed
 	return removed
 }
 
 // merge replaces clusters a and b (both in the solution) by their LCA
 // cluster, removing any other clusters the LCA covers. It returns the new
-// cluster and all removed ids.
+// cluster and all removed ids (aliasing scratch, like add).
 func (ws *workset) merge(a, b *lattice.Cluster) (*lattice.Cluster, []int32, error) {
-	lca, err := ws.ix.LCACluster(a, b)
+	id, err := ws.lca.LCAID(a.ID, b.ID)
 	if err != nil {
 		return nil, nil, err
 	}
+	lca := ws.ix.Cluster(id)
 	removed := ws.add(lca) // covers a and b, so both are removed
 	return lca, removed, nil
 }
 
-// solution snapshots the current state as a Solution.
-func (ws *workset) solution() *Solution {
-	out := make([]*lattice.Cluster, 0, len(ws.clusters))
-	for _, c := range ws.clusters {
-		out = append(out, c)
+// resetFrom rewinds the workset to base's solution state, reusing every
+// buffer: one generation bump invalidates the membership stamps and the
+// whole Delta-Judgment cache in O(1), and the coverage bitmap is overwritten
+// in place. The LCA memo is deliberately kept — it caches index-level facts
+// that never go stale. After resetFrom the workset behaves exactly like a
+// fresh deep copy of base with an empty cache (the contract the per-D
+// precompute replays relied on when this was workset.clone).
+func (ws *workset) resetFrom(base *workset) {
+	ws.gen++
+	if ws.gen == 0 { // stamp wrap-around: clear and restart
+		for i := range ws.inSol {
+			ws.inSol[i] = 0
+		}
+		for i := range ws.cacheGen {
+			ws.cacheGen[i] = 0
+		}
+		ws.gen = 1
 	}
-	return newSolution(ws.ix, out)
+	ws.obj = base.obj
+	ws.ids = append(ws.ids[:0], base.ids...)
+	for _, id := range ws.ids {
+		ws.inSol[id] = ws.gen
+	}
+	copy(ws.covered, base.covered)
+	ws.sum, ws.cnt = base.sum, base.cnt
+	ws.round = 0
+	for _, t := range ws.lastDelta {
+		ws.ldBits.unset(t)
+	}
+	ws.lastDelta = ws.lastDelta[:0]
+	ws.evalFull, ws.evalDelta = 0, 0
 }
 
-// clusterList returns the current clusters in unspecified order.
-func (ws *workset) clusterList() []*lattice.Cluster {
-	out := make([]*lattice.Cluster, 0, len(ws.clusters))
-	for _, c := range ws.clusters {
-		out = append(out, c)
+// solution snapshots the current state as a Solution.
+func (ws *workset) solution() *Solution {
+	out := make([]*lattice.Cluster, 0, len(ws.ids))
+	for _, id := range ws.ids {
+		out = append(out, ws.ix.Cluster(id))
 	}
-	return out
+	return newSolution(ws.ix, out)
 }
