@@ -1,11 +1,13 @@
 # Core benchmarks tracked across PRs: the precompute grid (allocations per
-# replay are the dense-engine target figure), the per-replay sweep unit, the
+# replay are the dense-engine target figure), the cluster-space build
+# (packed/slice keys across worker counts), the per-replay sweep unit, the
 # single-run algorithms, and the Delta-Judgment ablation.
-BENCH_ROOT    := BenchmarkFig7PrecomputeKParallel|BenchmarkFig6VaryD|BenchmarkFig8Delta
+BENCH_ROOT    := BenchmarkFig7PrecomputeKParallel|BenchmarkFig6VaryD|BenchmarkFig8Delta|BenchmarkBuildIndexMovieLens
 BENCH_SUMMARIZE := BenchmarkSweeperRunD
 BENCH_COUNT   ?= 1
 BENCH_TIME    ?= 3x
 BENCH_OUT     ?= bench.txt
+BENCH_JSON    ?= BENCH_3.json
 
 .PHONY: build test race bench fuzz fmt vet ci
 
@@ -25,10 +27,13 @@ fmt:
 	gofmt -l .
 
 # bench runs the tracked benchmarks with allocation reporting and writes the
-# result to $(BENCH_OUT), the artifact CI uploads as the perf baseline.
+# result to $(BENCH_OUT), the artifact CI uploads as the perf baseline, plus
+# a machine-readable $(BENCH_JSON) (benchmark name -> ns/op, B/op, allocs/op)
+# so the perf trajectory can be diffed across PRs without text parsing.
 bench:
 	go test -run '^$$' -bench '$(BENCH_ROOT)' -benchmem -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) . | tee $(BENCH_OUT)
 	go test -run '^$$' -bench '$(BENCH_SUMMARIZE)' -benchmem -benchtime 50x -count $(BENCH_COUNT) ./internal/summarize/ | tee -a $(BENCH_OUT)
+	go run ./cmd/benchjson < $(BENCH_OUT) > $(BENCH_JSON)
 
 # fuzz gives the SQL front end a short adversarial workout.
 fuzz:

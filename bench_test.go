@@ -286,6 +286,34 @@ func BenchmarkFig8InitOpt(b *testing.B) {
 	})
 }
 
+// BenchmarkBuildIndexMovieLens measures cluster-space construction on the
+// MovieLens space (m=8, N≈2087, L=500) across key representations and
+// phase-2 worker counts: slice-par1 is the pre-packed baseline, packed-par1
+// isolates the uint64-key win, and the higher worker counts add the parallel
+// coverage mapping. The built index is bit-identical in every variant (see
+// the lattice build tests).
+func BenchmarkBuildIndexMovieLens(b *testing.B) {
+	s := getState(b)
+	L := 500
+	if s.space.N() < L {
+		L = s.space.N()
+	}
+	run := func(name string, opts ...lattice.BuildOption) {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := lattice.BuildIndex(s.space, L, opts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	run("slice-par1", lattice.WithSliceKeys(), lattice.BuildParallelism(1))
+	run("packed-par1", lattice.BuildParallelism(1))
+	for _, par := range []int{2, 4, 8} {
+		run("packed-par"+itoa(par), lattice.BuildParallelism(par))
+	}
+}
+
 // BenchmarkFig8Delta compares Hybrid with and without Delta-Judgment at
 // L=500, k=20, D=2 (Figure 8b).
 func BenchmarkFig8Delta(b *testing.B) {

@@ -7,7 +7,8 @@
 //	experiments [-scale small|paper] [-list] [id ...]
 //
 // Experiment ids follow the paper's numbering: fig1 fig2 fig5 fig6k fig6l
-// fig6d fig6m fig7k fig7runs fig7l fig7n fig8a fig8b fig9 table1 fig16 a5.
+// fig6d fig6m fig7k fig7runs fig7l fig7n fig7par figscale fig8a fig8b fig9
+// table1 fig16 a5.
 package main
 
 import (
@@ -23,6 +24,7 @@ func main() {
 	scale := flag.String("scale", "paper", "dataset scale: small (fast) or paper (MovieLens-100K sized)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	par := flag.Int("par", 1, "precompute worker count (1 = the paper's sequential timings, 0 = GOMAXPROCS)")
+	buildpar := flag.Int("buildpar", 1, "cluster-space build worker count (1 = the paper's sequential timings, 0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *list {
@@ -47,6 +49,7 @@ func main() {
 		os.Exit(1)
 	}
 	env.Parallelism = *par
+	env.BuildParallelism = *buildpar
 
 	ids := flag.Args()
 	var selected []exp.Experiment

@@ -10,9 +10,9 @@ import (
 
 // singleRun measures the non-precomputed path: initialization (cluster space
 // build) plus one Hybrid run for (k, L, D). It returns (init ms, algo ms).
-func singleRun(res *qagview.Result, k, L, D int) (float64, float64, error) {
+func singleRun(e *Env, res *qagview.Result, k, L, D int) (float64, float64, error) {
 	t0 := startTimer()
-	s, err := qagview.NewSummarizer(res, L)
+	s, err := qagview.NewSummarizer(res, L, e.buildOpts()...)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -30,7 +30,7 @@ func singleRun(res *qagview.Result, k, L, D int) (float64, float64, error) {
 // (init ms, sweep ms, retrieval ms).
 func precomputeRun(e *Env, res *qagview.Result, kMax, L, D int) (float64, float64, float64, error) {
 	t0 := startTimer()
-	s, err := qagview.NewSummarizer(res, L)
+	s, err := qagview.NewSummarizer(res, L, e.buildOpts()...)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -107,7 +107,7 @@ func Fig7N(e *Env) ([]Table, error) {
 		if res.N() < L {
 			L = res.N()
 		}
-		i1, a1, err := singleRun(res, 20, L, 2)
+		i1, a1, err := singleRun(e, res, 20, L, 2)
 		if err != nil {
 			return nil, err
 		}
@@ -144,7 +144,7 @@ func Fig7Runs(e *Env) ([]Table, error) {
 	var singleCum []float64
 	total := 0.0
 	for _, k := range ks {
-		i, a, err := singleRun(res, k, L, 2)
+		i, a, err := singleRun(e, res, k, L, 2)
 		if err != nil {
 			return nil, err
 		}
@@ -153,7 +153,7 @@ func Fig7Runs(e *Env) ([]Table, error) {
 	}
 	// Precompute path.
 	t0 := startTimer()
-	s, err := qagview.NewSummarizer(res, L)
+	s, err := qagview.NewSummarizer(res, L, e.buildOpts()...)
 	if err != nil {
 		return nil, err
 	}
@@ -195,7 +195,7 @@ func singleVsPrecompute(e *Env, id string, res *qagview.Result, Ls []int, note s
 		if L > res.N() {
 			L = res.N()
 		}
-		i1, a1, err := singleRun(res, 20, L, 2)
+		i1, a1, err := singleRun(e, res, 20, L, 2)
 		if err != nil {
 			return nil, err
 		}
@@ -222,7 +222,7 @@ func Fig7Par(e *Env) ([]Table, error) {
 	if res.N() < L {
 		L = res.N()
 	}
-	s, err := qagview.NewSummarizer(res, L)
+	s, err := qagview.NewSummarizer(res, L, e.buildOpts()...)
 	if err != nil {
 		return nil, err
 	}
@@ -296,13 +296,13 @@ func Fig8A(e *Env) ([]Table, error) {
 			L = space.N()
 		}
 		t0 := startTimer()
-		_, optStats, err := lattice.BuildIndexStats(space, L, true)
+		_, optStats, err := lattice.BuildIndexStats(space, L, true, e.buildOpts()...)
 		if err != nil {
 			return nil, err
 		}
 		optMs := t0.ms()
 		t1 := startTimer()
-		_, naiveStats, err := lattice.BuildIndexStats(space, L, false)
+		_, naiveStats, err := lattice.BuildIndexStats(space, L, false, e.buildOpts()...)
 		if err != nil {
 			return nil, err
 		}
@@ -330,7 +330,7 @@ func Fig8B(e *Env) ([]Table, error) {
 		if L > res.N() {
 			L = res.N()
 		}
-		s, err := qagview.NewSummarizer(res, L)
+		s, err := qagview.NewSummarizer(res, L, e.buildOpts()...)
 		if err != nil {
 			return nil, err
 		}

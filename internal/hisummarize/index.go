@@ -45,14 +45,18 @@ func BuildIndex(s *Space, L int) (*Index, error) {
 		return nil, fmt.Errorf("hisummarize: L = %d out of range [1, %d]", L, s.N())
 	}
 	ix := &Index{Space: s, L: L, byKey: make(map[string]int32), singleton: make([]int32, L)}
+	// One scratch key buffer serves every enumeration: map insertion is the
+	// only point that materializes a string, and map probes on string(scratch)
+	// do not allocate.
+	scratch := make([]byte, 0, 4*s.M())
 	for rank := 0; rank < L; rank++ {
 		s.Ancestors(s.Tuples[rank], func(p Pattern) {
-			key := p.Key()
-			if _, ok := ix.byKey[key]; ok {
+			scratch = p.AppendKey(scratch[:0])
+			if _, ok := ix.byKey[string(scratch)]; ok {
 				return
 			}
 			id := int32(len(ix.Clusters))
-			ix.byKey[key] = id
+			ix.byKey[string(scratch)] = id
 			ix.Clusters = append(ix.Clusters, &Cluster{ID: id, Pat: p.Clone()})
 		})
 		ix.singleton[rank] = ix.byKey[s.Tuples[rank].Key()]
@@ -60,7 +64,8 @@ func BuildIndex(s *Space, L int) (*Index, error) {
 	for ti, t := range s.Tuples {
 		val := s.Vals[ti]
 		s.Ancestors(t, func(p Pattern) {
-			if id, ok := ix.byKey[p.Key()]; ok {
+			scratch = p.AppendKey(scratch[:0])
+			if id, ok := ix.byKey[string(scratch)]; ok {
 				c := ix.Clusters[id]
 				c.Cov = append(c.Cov, int32(ti))
 				c.Sum += val
@@ -79,9 +84,11 @@ func (ix *Index) Cluster(id int32) *Cluster { return ix.Clusters[id] }
 // Singleton returns the concrete cluster of the rank-th top tuple.
 func (ix *Index) Singleton(rank int) *Cluster { return ix.Clusters[ix.singleton[rank]] }
 
-// Lookup finds a generated cluster by pattern.
+// Lookup finds a generated cluster by pattern. The key is assembled in a
+// stack buffer, so a lookup does not allocate for typical attribute counts.
 func (ix *Index) Lookup(p Pattern) (*Cluster, bool) {
-	id, ok := ix.byKey[p.Key()]
+	var buf [64]byte
+	id, ok := ix.byKey[string(p.AppendKey(buf[:0]))]
 	if !ok {
 		return nil, false
 	}

@@ -1,0 +1,45 @@
+package hisummarize
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAppendKeyMatchesKey: the scratch-buffer key must be byte-identical to
+// Key for arbitrary node ids (including large and negative ones), since both
+// index the same byKey map.
+func TestAppendKeyMatchesKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 500; i++ {
+		p := make(Pattern, 1+rng.Intn(8))
+		for j := range p {
+			p[j] = int32(rng.Int63()) // full int32 range, sign bit included
+		}
+		if got, want := string(p.AppendKey(nil)), p.Key(); got != want {
+			t.Fatalf("AppendKey(%v) = %q, Key = %q", p, got, want)
+		}
+	}
+	var buf [16]byte
+	p := Pattern{1, -2, 3}
+	if got, want := string(p.AppendKey(buf[:0])), p.Key(); got != want {
+		t.Fatalf("AppendKey with scratch = %q, Key = %q", got, want)
+	}
+}
+
+// TestLookupDoesNotAllocate pins the satellite fix: probing the index by
+// pattern must not allocate a key string per call.
+func TestLookupDoesNotAllocate(t *testing.T) {
+	s := ageSpace(t, 40, 22)
+	ix, err := BuildIndex(s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := ix.Clusters[len(ix.Clusters)/2].Pat
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := ix.Lookup(pat); !ok {
+			t.Fatal("generated pattern not found")
+		}
+	}); allocs != 0 {
+		t.Errorf("Lookup allocates %.1f objects per call, want 0", allocs)
+	}
+}

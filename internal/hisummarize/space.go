@@ -35,6 +35,16 @@ func (p Pattern) Key() string {
 	return sb.String()
 }
 
+// AppendKey appends the packed key of p to dst and returns it, for callers
+// reusing a scratch buffer: indexing a map[string] with string(dst) does not
+// allocate, so hot lookup loops avoid the per-pattern string of Key.
+func (p Pattern) AppendKey(dst []byte) []byte {
+	for _, v := range p {
+		dst = append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return dst
+}
+
 // Clone copies p.
 func (p Pattern) Clone() Pattern {
 	q := make(Pattern, len(p))

@@ -2,6 +2,9 @@ package lattice
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"time"
 
 	"qagview/internal/pattern"
 )
@@ -42,8 +45,12 @@ func (c *Cluster) Avg() float64 {
 //
 // The cluster space is stored columnar: cluster records live in one dense
 // slice (no per-cluster heap objects), and all coverage lists share one
-// []int32 arena, with each Cluster.Cov a subslice of it. Both are immutable
-// after BuildIndex, so an Index may be shared freely across goroutines.
+// []int32 arena, with each Cluster.Cov a subslice of it. When the
+// per-attribute bit widths fit (see pattern.NewCodec), every cluster pattern
+// is additionally packed into a uint64 key: the by-pattern map is keyed on
+// integers instead of byte strings, and Distance/Covers/LCA between clusters
+// run word-parallel on the packed keys. Everything is immutable after
+// BuildIndex, so an Index may be shared freely across goroutines.
 type Index struct {
 	// Space is the underlying answer space.
 	Space *Space
@@ -56,18 +63,75 @@ type Index struct {
 	// covArena backs every Cluster.Cov, laid out cluster by cluster.
 	covArena []int32
 
-	byKey     map[string]int32
+	// codec packs patterns into uint64 keys; nil when the summed widths
+	// exceed 64 bits (or slice keys were forced), in which case byKey is the
+	// string-keyed fallback.
+	codec    *pattern.Codec
+	packed   []uint64 // per-cluster packed key, aligned with Clusters
+	byPacked *packedMap
+	byKey    map[string]int32
+
 	singleton []int32 // rank -> cluster id of the concrete pattern, for ranks < L
 	allStar   int32
 }
 
 // BuildStats reports the work done while building an index, for the
-// Figure 8a ablation and initialization-time experiments.
+// Figure 8a ablation and the initialization-time and build-throughput
+// experiments (figscale).
 type BuildStats struct {
-	// Generated is the number of distinct clusters generated.
+	// Generated is the number of distinct clusters generated in phase 1.
 	Generated int
-	// MappingOps counts tuple→cluster probe operations performed.
+	// MappingOps counts tuple→cluster probe operations performed in phase 2;
+	// it is N·2^m on the optimized path and |C|·N on the naive path,
+	// independent of the worker count.
 	MappingOps int
+	// PackedKeys reports whether the build ran on the packed uint64 fast
+	// path; false means the per-attribute widths exceeded 64 bits (or
+	// WithSliceKeys forced the fallback) and patterns were keyed as byte
+	// strings.
+	PackedKeys bool
+	// Workers is the number of goroutines the phase-2 coverage mapping
+	// fanned out over (always 1 on the naive path).
+	Workers int
+	// GenerateMs is the wall-clock time of phase 1, the sequential cluster
+	// generation from the top-L tuples.
+	GenerateMs float64
+	// MapMs is the wall-clock time of phase 2, the tuple→cluster coverage
+	// probing (the parallelized part).
+	MapMs float64
+	// AssembleMs is the wall-clock time of the deterministic counting-sort
+	// assembly: computing per-shard arena offsets, scattering hits, and
+	// slicing per-cluster coverage with its value sums.
+	AssembleMs float64
+}
+
+// buildConfig collects BuildIndex options.
+type buildConfig struct {
+	parallelism int
+	sliceKeys   bool
+}
+
+func defaultBuildConfig() buildConfig {
+	return buildConfig{parallelism: runtime.GOMAXPROCS(0)}
+}
+
+// BuildOption customizes BuildIndex.
+type BuildOption func(*buildConfig)
+
+// BuildParallelism sets the number of worker goroutines the phase-2 coverage
+// mapping fans out over. The default is GOMAXPROCS; n <= 1 forces the
+// sequential path. The built index is bit-identical at any setting: shards
+// are assembled in tuple order by a counting sort, so cluster ids, coverage
+// lists, and value sums do not depend on the worker count.
+func BuildParallelism(n int) BuildOption {
+	return func(c *buildConfig) { c.parallelism = n }
+}
+
+// WithSliceKeys forces the string-keyed slice-pattern representation even
+// when the packed widths would fit, for ablation experiments and the
+// packed-vs-slice equivalence tests. Output is identical either way.
+func WithSliceKeys() BuildOption {
+	return func(c *buildConfig) { c.sliceKeys = true }
 }
 
 // BuildIndex builds the cluster space for the top-L tuples of s using the
@@ -75,8 +139,8 @@ type BuildStats struct {
 // tuples (so every cluster covers at least one top-L tuple), and the
 // cluster→tuple mapping is computed by probing each tuple's generalizations
 // against the generated set, instead of scanning all tuples per cluster.
-func BuildIndex(s *Space, L int) (*Index, error) {
-	ix, _, err := buildIndex(s, L, true)
+func BuildIndex(s *Space, L int, opts ...BuildOption) (*Index, error) {
+	ix, _, err := buildIndex(s, L, true, opts)
 	return ix, err
 }
 
@@ -84,14 +148,14 @@ func BuildIndex(s *Space, L int) (*Index, error) {
 // after cluster generation, each cluster scans every tuple for coverage.
 // It exists to reproduce the Figure 8a ablation; results are identical to
 // BuildIndex.
-func BuildIndexNaive(s *Space, L int) (*Index, error) {
-	ix, _, err := buildIndex(s, L, false)
+func BuildIndexNaive(s *Space, L int, opts ...BuildOption) (*Index, error) {
+	ix, _, err := buildIndex(s, L, false, opts)
 	return ix, err
 }
 
 // BuildIndexStats is BuildIndex returning work counters.
-func BuildIndexStats(s *Space, L int, optimized bool) (*Index, BuildStats, error) {
-	return buildIndex(s, L, optimized)
+func BuildIndexStats(s *Space, L int, optimized bool, opts ...BuildOption) (*Index, BuildStats, error) {
+	return buildIndex(s, L, optimized, opts)
 }
 
 // covHit is one (cluster, tuple) coverage pair recorded during the optimized
@@ -101,92 +165,203 @@ type covHit struct {
 	tuple   int32
 }
 
-func buildIndex(s *Space, L int, optimized bool) (*Index, BuildStats, error) {
+// patArenaChunk is how many cluster patterns share one backing allocation
+// during phase 1.
+const patArenaChunk = 1024
+
+// mapShard is one worker's slice of the phase-2 coverage mapping: a
+// contiguous tuple range with its private hit buffer and per-cluster counts
+// (the counts array doubles as the shard's arena write cursor during
+// assembly).
+type mapShard struct {
+	lo, hi int
+	hits   []covHit
+	counts []int32
+	ops    int
+}
+
+func buildIndex(s *Space, L int, optimized bool, opts []BuildOption) (*Index, BuildStats, error) {
+	cfg := defaultBuildConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
 	var stats BuildStats
 	if L < 1 || L > s.N() {
 		return nil, stats, fmt.Errorf("lattice: L = %d out of range [1, %d]", L, s.N())
 	}
-	if s.M() > 16 {
-		return nil, stats, fmt.Errorf("lattice: %d grouping attributes exceed the supported maximum of 16", s.M())
+	if s.M() > pattern.MaxAttrs {
+		return nil, stats, fmt.Errorf("lattice: %d grouping attributes exceed the supported maximum of %d (pattern.MaxAttrs)", s.M(), pattern.MaxAttrs)
 	}
 	ix := &Index{
 		Space:     s,
 		L:         L,
-		byKey:     make(map[string]int32),
 		singleton: make([]int32, L),
 		allStar:   -1,
 	}
-	// Phase 1: generate clusters from each top-L tuple.
-	scratch := make([]byte, 0, 4*s.M())
-	for rank := 0; rank < L; rank++ {
-		t := s.Tuples[rank]
-		pattern.Ancestors(t, func(p pattern.Pattern) {
-			scratch = p.AppendKey(scratch[:0])
-			if _, ok := ix.byKey[string(scratch)]; ok {
-				return
+	if !cfg.sliceKeys {
+		cards := make([]int, s.M())
+		for j := range cards {
+			cards[j] = s.Dicts[j].Len()
+		}
+		// ok = false leaves codec nil: the widths do not fit one word and the
+		// build stays on the slice representation.
+		ix.codec, _ = pattern.NewCodec(cards)
+	}
+	stats.PackedKeys = ix.codec != nil
+
+	// Phase 1: generate clusters from each top-L tuple, sequentially (cluster
+	// ids are assigned in first-seen enumeration order, which both key
+	// representations share — see pattern.Codec.Ancestors).
+	t0 := time.Now()
+	if ix.codec != nil {
+		// Cluster count is unknown until the dedup runs; the hint trades one
+		// possible regrow against over-allocation on star-sparse spaces. The
+		// cap keeps wide schemas (the worst case L*2^m is astronomical at
+		// m = MaxAttrs) from reserving memory the dedup will never fill —
+		// the map and slices regrow fine past it.
+		hint := L * (1 << s.M()) / 4
+		if hint > 1<<20 {
+			hint = 1 << 20
+		}
+		ix.byPacked = newPackedMap(hint)
+		ix.Clusters = make([]Cluster, 0, hint)
+		ix.packed = make([]uint64, 0, hint)
+		// Cluster patterns are carved out of chunked []int32 arenas: one
+		// allocation per patArenaChunk patterns instead of one each, which
+		// cuts both allocation count and GC scan work for large spaces.
+		m := s.M()
+		var patArena []int32
+		keys := make([]uint64, 0, 1<<m)
+		for rank := 0; rank < L; rank++ {
+			base := ix.codec.Pack(s.Tuples[rank])
+			keys = ix.codec.AppendAncestors(base, keys[:0])
+			for _, key := range keys {
+				id := int32(len(ix.Clusters))
+				if _, inserted := ix.byPacked.getOrPut(key, id); !inserted {
+					continue
+				}
+				if len(patArena) < m {
+					patArena = make([]int32, patArenaChunk*m)
+				}
+				pat := pattern.Pattern(patArena[:m:m])
+				patArena = patArena[m:]
+				ix.codec.Unpack(key, pat)
+				ix.Clusters = append(ix.Clusters, Cluster{ID: id, Pat: pat})
+				ix.packed = append(ix.packed, key)
 			}
-			id := int32(len(ix.Clusters))
-			ix.byKey[string(scratch)] = id
-			ix.Clusters = append(ix.Clusters, Cluster{ID: id, Pat: p.Clone()})
-		})
+			// The concrete pattern of each top tuple comes first in its own
+			// enumeration, so it is always generated by now.
+			ix.singleton[rank], _ = ix.byPacked.get(base)
+		}
+		ix.allStar, _ = ix.byPacked.get(ix.codec.AllStar())
+	} else {
+		ix.byKey = make(map[string]int32)
+		scratch := make([]byte, 0, 4*s.M())
+		for rank := 0; rank < L; rank++ {
+			t := s.Tuples[rank]
+			pattern.Ancestors(t, func(p pattern.Pattern) {
+				scratch = p.AppendKey(scratch[:0])
+				if _, ok := ix.byKey[string(scratch)]; ok {
+					return
+				}
+				id := int32(len(ix.Clusters))
+				ix.byKey[string(scratch)] = id
+				ix.Clusters = append(ix.Clusters, Cluster{ID: id, Pat: p.Clone()})
+			})
+			ix.singleton[rank] = ix.byKey[t.Key()]
+		}
+		allStar := make(pattern.Pattern, s.M())
+		for i := range allStar {
+			allStar[i] = pattern.Star
+		}
+		ix.allStar = ix.byKey[allStar.Key()]
 	}
 	stats.Generated = len(ix.Clusters)
-	for rank := 0; rank < L; rank++ {
-		// The concrete pattern of each top-L tuple was generated above.
-		key := s.Tuples[rank].Key()
-		ix.singleton[rank] = ix.byKey[key]
-	}
-	allStar := make(pattern.Pattern, s.M())
-	for i := range allStar {
-		allStar[i] = pattern.Star
-	}
-	ix.allStar = ix.byKey[allStar.Key()]
+	stats.GenerateMs = msSince(t0)
 
 	// Phase 2: map tuples to clusters, writing all coverage lists into one
 	// shared arena. The optimized path probes tuple-major (each tuple's
-	// generalizations against the generated set), so hits arrive out of
-	// cluster order and are counting-sorted; the naive path scans
-	// cluster-major and appends in place.
+	// generalizations against the generated set) over contiguous tuple
+	// shards in parallel, then counting-sorts the hits into the arena; the
+	// naive path scans cluster-major and appends in place.
 	nc := len(ix.Clusters)
-	counts := make([]int32, nc)
 	if optimized {
-		// Hit volume scales with total coverage (every tuple hits at least
-		// the all-star cluster, top-L tuples hit all 2^m ancestors), so seed
-		// the buffer at coverage scale, not cluster-count scale.
-		hits := make([]covHit, 0, 8*s.N())
-		for ti, t := range s.Tuples {
-			ti32 := int32(ti)
-			val := s.Vals[ti]
-			pattern.Ancestors(t, func(p pattern.Pattern) {
-				stats.MappingOps++
-				scratch = p.AppendKey(scratch[:0])
-				if id, ok := ix.byKey[string(scratch)]; ok {
-					hits = append(hits, covHit{cluster: id, tuple: ti32})
-					counts[id]++
-					ix.Clusters[id].Sum += val
-				}
-			})
+		workers := cfg.parallelism
+		if workers < 1 {
+			workers = 1
 		}
-		arena := make([]int32, len(hits))
-		next := make([]int32, nc)
+		if workers > s.N() {
+			workers = s.N()
+		}
+		stats.Workers = workers
+		t1 := time.Now()
+		shards := make([]mapShard, workers)
+		var wg sync.WaitGroup
+		for w := range shards {
+			shards[w].lo = s.N() * w / workers
+			shards[w].hi = s.N() * (w + 1) / workers
+			shards[w].counts = make([]int32, nc)
+			wg.Add(1)
+			go func(sh *mapShard) {
+				defer wg.Done()
+				ix.probeShard(sh)
+			}(&shards[w])
+		}
+		wg.Wait()
+		stats.MapMs = msSince(t1)
+
+		// Deterministic assembly: lay the arena out cluster-major, and within
+		// each cluster shard-major (= ascending tuple order, since shards are
+		// contiguous tuple ranges and each shard emits hits tuple-major).
+		// This reproduces the sequential tuple-major scan bit for bit at any
+		// worker count; per-cluster value sums are then accumulated in arena
+		// order, the same addition order a sequential build performs.
+		t2 := time.Now()
+		total := 0
+		for w := range shards {
+			stats.MappingOps += shards[w].ops
+			total += len(shards[w].hits)
+		}
+		starts := make([]int32, nc+1)
 		off := int32(0)
 		for id := 0; id < nc; id++ {
-			next[id] = off
-			off += counts[id]
+			starts[id] = off
+			for w := range shards {
+				c := shards[w].counts[id]
+				shards[w].counts[id] = off // becomes the shard's write cursor
+				off += c
+			}
 		}
-		for _, h := range hits {
-			arena[next[h.cluster]] = h.tuple
-			next[h.cluster]++
+		starts[nc] = off
+		arena := make([]int32, total)
+		for w := range shards {
+			wg.Add(1)
+			go func(sh *mapShard) {
+				defer wg.Done()
+				for _, h := range sh.hits {
+					arena[sh.counts[h.cluster]] = h.tuple
+					sh.counts[h.cluster]++
+				}
+			}(&shards[w])
 		}
+		wg.Wait()
 		ix.covArena = arena
 		for id := 0; id < nc; id++ {
-			end := next[id]
-			start := end - counts[id]
-			ix.Clusters[id].Cov = arena[start:end:end]
+			cov := arena[starts[id]:starts[id+1]:starts[id+1]]
+			sum := 0.0
+			for _, t := range cov {
+				sum += s.Vals[t]
+			}
+			ix.Clusters[id].Cov = cov
+			ix.Clusters[id].Sum = sum
 		}
+		stats.AssembleMs = msSince(t2)
 	} else {
+		stats.Workers = 1
+		t1 := time.Now()
 		var arena []int32
 		starts := make([]int32, nc)
+		counts := make([]int32, nc)
 		for ci := range ix.Clusters {
 			c := &ix.Clusters[ci]
 			starts[ci] = int32(len(arena))
@@ -205,8 +380,52 @@ func buildIndex(s *Space, L int, optimized bool) (*Index, BuildStats, error) {
 			start, end := starts[ci], starts[ci]+counts[ci]
 			ix.Clusters[ci].Cov = arena[start:end:end]
 		}
+		stats.MapMs = msSince(t1)
 	}
 	return ix, stats, nil
+}
+
+// probeShard runs the phase-2 probe for one tuple shard: every tuple's 2^m
+// generalizations against the generated cluster set. The generated maps are
+// immutable by now, so shards only share read-only state.
+func (ix *Index) probeShard(sh *mapShard) {
+	s := ix.Space
+	// Hit volume scales with total coverage (every tuple hits at least the
+	// all-star cluster, top-L tuples hit all 2^m ancestors), so seed the
+	// buffer at coverage scale, not cluster-count scale.
+	sh.hits = make([]covHit, 0, 8*(sh.hi-sh.lo))
+	if ix.codec != nil {
+		keys := make([]uint64, 0, 1<<s.M())
+		for ti := sh.lo; ti < sh.hi; ti++ {
+			ti32 := int32(ti)
+			base := ix.codec.Pack(s.Tuples[ti])
+			keys = ix.codec.AppendAncestors(base, keys[:0])
+			sh.ops += len(keys)
+			for _, key := range keys {
+				if id, ok := ix.byPacked.get(key); ok {
+					sh.hits = append(sh.hits, covHit{cluster: id, tuple: ti32})
+					sh.counts[id]++
+				}
+			}
+		}
+		return
+	}
+	scratch := make([]byte, 0, 4*s.M())
+	for ti := sh.lo; ti < sh.hi; ti++ {
+		ti32 := int32(ti)
+		pattern.Ancestors(s.Tuples[ti], func(p pattern.Pattern) {
+			sh.ops++
+			scratch = p.AppendKey(scratch[:0])
+			if id, ok := ix.byKey[string(scratch)]; ok {
+				sh.hits = append(sh.hits, covHit{cluster: id, tuple: ti32})
+				sh.counts[id]++
+			}
+		})
+	}
+}
+
+func msSince(t0 time.Time) float64 {
+	return float64(time.Since(t0).Microseconds()) / 1000
 }
 
 // NumClusters returns the size of the generated cluster space.
@@ -215,9 +434,42 @@ func (ix *Index) NumClusters() int { return len(ix.Clusters) }
 // Cluster returns the cluster with the given id.
 func (ix *Index) Cluster(id int32) *Cluster { return &ix.Clusters[id] }
 
-// Lookup finds the cluster for a pattern, if it was generated.
+// PackedKeys reports whether the index runs on the packed uint64 fast path.
+func (ix *Index) PackedKeys() bool { return ix.codec != nil }
+
+// Distance returns the cluster distance (Definition 3.1) between the
+// clusters with ids a and b, word-parallel on the packed keys when available.
+func (ix *Index) Distance(a, b int32) int {
+	if ix.codec != nil {
+		return ix.codec.Distance(ix.packed[a], ix.packed[b])
+	}
+	return pattern.Distance(ix.Clusters[a].Pat, ix.Clusters[b].Pat)
+}
+
+// Covers reports whether the pattern of cluster a covers the pattern of
+// cluster b, word-parallel on the packed keys when available.
+func (ix *Index) Covers(a, b int32) bool {
+	if ix.codec != nil {
+		return ix.codec.Covers(ix.packed[a], ix.packed[b])
+	}
+	return ix.Clusters[a].Pat.Covers(ix.Clusters[b].Pat)
+}
+
+// Lookup finds the cluster for a pattern, if it was generated. Patterns that
+// cannot be encoded at all (wrong arity, values outside every active domain)
+// are simply not found.
 func (ix *Index) Lookup(p pattern.Pattern) (*Cluster, bool) {
-	id, ok := ix.byKey[p.Key()]
+	var id int32
+	var ok bool
+	if ix.codec != nil {
+		var key uint64
+		if key, ok = ix.codec.PackChecked(p); ok {
+			id, ok = ix.byPacked.get(key)
+		}
+	} else {
+		var buf [4 * pattern.MaxAttrs]byte
+		id, ok = ix.byKey[string(p.AppendKey(buf[:0]))]
+	}
 	if !ok {
 		return nil, false
 	}
@@ -254,13 +506,13 @@ func (ix *Index) LCACluster(a, b *Cluster) (*Cluster, error) {
 // LCAMemo caches LCA cluster ids for pairs of cluster ids from one Index.
 // The greedy merge loops probe the same pairs repeatedly (a surviving pair is
 // re-evaluated every round until it merges or dies), so memoizing by id pair
-// removes the repeated pattern hashing and map lookups of LCACluster. A memo
+// removes the repeated LCA computations and map lookups of LCACluster. A memo
 // is index-level state — entries never go stale because the cluster space is
 // immutable — but it is NOT safe for concurrent use; give each worker or
 // replay state its own memo.
 type LCAMemo struct {
 	ix      *Index
-	memo    map[uint64]int32
+	memo    *packedMap // (a, b) id pair -> LCA cluster id
 	scratch pattern.Pattern
 	key     []byte
 	hits    int
@@ -271,7 +523,7 @@ type LCAMemo struct {
 func (ix *Index) NewLCAMemo() *LCAMemo {
 	return &LCAMemo{
 		ix:      ix,
-		memo:    make(map[uint64]int32),
+		memo:    newPackedMap(256),
 		scratch: make(pattern.Pattern, ix.Space.M()),
 		key:     make([]byte, 0, 4*ix.Space.M()),
 	}
@@ -287,18 +539,27 @@ func (m *LCAMemo) LCAID(a, b int32) (int32, error) {
 		a, b = b, a
 	}
 	pairKey := uint64(uint32(a))<<32 | uint64(uint32(b))
-	if id, ok := m.memo[pairKey]; ok {
+	if id, ok := m.memo.get(pairKey); ok {
 		m.hits++
 		return id, nil
 	}
 	m.misses++
-	pattern.LCAInto(m.scratch, m.ix.Clusters[a].Pat, m.ix.Clusters[b].Pat)
-	m.key = m.scratch.AppendKey(m.key[:0])
-	id, ok := m.ix.byKey[string(m.key)]
+	var id int32
+	var ok bool
+	if m.ix.codec != nil {
+		lcaKey := m.ix.codec.LCA(m.ix.packed[a], m.ix.packed[b])
+		if id, ok = m.ix.byPacked.get(lcaKey); !ok {
+			m.ix.codec.Unpack(lcaKey, m.scratch)
+		}
+	} else {
+		pattern.LCAInto(m.scratch, m.ix.Clusters[a].Pat, m.ix.Clusters[b].Pat)
+		m.key = m.scratch.AppendKey(m.key[:0])
+		id, ok = m.ix.byKey[string(m.key)]
+	}
 	if !ok {
 		return 0, fmt.Errorf("lattice: LCA %v of clusters %d and %d not in index", m.scratch, a, b)
 	}
-	m.memo[pairKey] = id
+	m.memo.putNew(pairKey, id)
 	return id, nil
 }
 

@@ -1,0 +1,122 @@
+package lattice
+
+// packedMap is an open-addressing hash table from packed pattern keys to
+// cluster ids, replacing map[uint64]int32 on the index's hot probe paths
+// (phase-2 coverage mapping probes every tuple's 2^m ancestors; LCA memo
+// misses probe merged patterns). Linear probing over one flat entry array
+// with a Fibonacci-multiplicative hash keeps a probe to about one cache line
+// and no runtime map overhead. Ids are non-negative, so a negative id marks
+// an empty slot; the zero key is a valid packed pattern and needs no
+// sentinel.
+//
+// The table is single-writer: build it fully, then share it for concurrent
+// read-only probes (the phase-2 workers do exactly that).
+type packedMap struct {
+	entries []packedEntry
+	shift   uint // 64 - log2(len(entries)), for the multiplicative hash
+	n       int
+}
+
+type packedEntry struct {
+	key uint64
+	id  int32
+}
+
+// fibHash is 2^64 / phi, the standard multiplicative-hash constant: it
+// spreads the low-entropy packed keys (few fields vary) across the table.
+const fibHash = 0x9E3779B97F4A7C15
+
+// newPackedMap sizes the table for about capHint entries without regrowing.
+func newPackedMap(capHint int) *packedMap {
+	size := 64
+	for size < capHint*2 {
+		size <<= 1
+	}
+	m := &packedMap{
+		entries: make([]packedEntry, size),
+		shift:   uint(64 - log2(size)),
+	}
+	for i := range m.entries {
+		m.entries[i].id = -1
+	}
+	return m
+}
+
+func log2(pow2 int) int {
+	n := 0
+	for pow2 > 1 {
+		pow2 >>= 1
+		n++
+	}
+	return n
+}
+
+// get returns the id stored for key.
+func (m *packedMap) get(key uint64) (int32, bool) {
+	mask := uint64(len(m.entries) - 1)
+	for i := (key * fibHash) >> m.shift; ; i = (i + 1) & mask {
+		e := m.entries[i]
+		if e.key == key && e.id >= 0 {
+			return e.id, true
+		}
+		if e.id < 0 {
+			return 0, false
+		}
+	}
+}
+
+// putNew inserts key with the given id; the key must not be present (the
+// build inserts each generated pattern exactly once).
+func (m *packedMap) putNew(key uint64, id int32) {
+	if (m.n+1)*4 >= len(m.entries)*3 {
+		m.grow()
+	}
+	mask := uint64(len(m.entries) - 1)
+	i := (key * fibHash) >> m.shift
+	for m.entries[i].id >= 0 {
+		i = (i + 1) & mask
+	}
+	m.entries[i] = packedEntry{key: key, id: id}
+	m.n++
+}
+
+// getOrPut returns the id already stored for key, or inserts id and reports
+// inserted = true — one probe sequence for the generate-phase dedup instead
+// of a get followed by a putNew.
+func (m *packedMap) getOrPut(key uint64, id int32) (int32, bool) {
+	if (m.n+1)*4 >= len(m.entries)*3 {
+		m.grow()
+	}
+	mask := uint64(len(m.entries) - 1)
+	for i := (key * fibHash) >> m.shift; ; i = (i + 1) & mask {
+		e := m.entries[i]
+		if e.id < 0 {
+			m.entries[i] = packedEntry{key: key, id: id}
+			m.n++
+			return id, true
+		}
+		if e.key == key {
+			return e.id, false
+		}
+	}
+}
+
+func (m *packedMap) grow() {
+	old := m.entries
+	m.entries = make([]packedEntry, 2*len(old))
+	m.shift--
+	for i := range m.entries {
+		m.entries[i].id = -1
+	}
+	mask := uint64(len(m.entries) - 1)
+	for _, e := range old {
+		if e.id < 0 {
+			continue
+		}
+		j := (e.key * fibHash) >> m.shift
+		for m.entries[j].id >= 0 {
+			j = (j + 1) & mask
+		}
+		m.entries[j] = e
+	}
+}

@@ -1,0 +1,216 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// genCodec draws random per-attribute cardinalities (mixing tiny and
+// mid-sized domains) and builds a codec over them; ok must hold for the
+// widths drawn here.
+func genCodec(t *testing.T, rng *rand.Rand, m int) (*Codec, []int) {
+	t.Helper()
+	cards := make([]int, m)
+	for j := range cards {
+		switch rng.Intn(3) {
+		case 0:
+			cards[j] = 1 + rng.Intn(3) // 1-2 bit fields
+		case 1:
+			cards[j] = 4 + rng.Intn(12) // 3-4 bit fields
+		default:
+			cards[j] = 16 + rng.Intn(48) // 5-6 bit fields
+		}
+	}
+	c, ok := NewCodec(cards)
+	if !ok {
+		t.Fatalf("codec over %v should fit 64 bits", cards)
+	}
+	return c, cards
+}
+
+// genCodecPattern draws a random pattern over the codec's domains; starP is
+// the per-attribute probability (out of 100) of drawing Star.
+func genCodecPattern(rng *rand.Rand, cards []int, starP int) Pattern {
+	p := make(Pattern, len(cards))
+	for j := range p {
+		if rng.Intn(100) < starP {
+			p[j] = Star
+		} else {
+			p[j] = int32(rng.Intn(cards[j]))
+		}
+	}
+	return p
+}
+
+// TestPackedOpsMatchSlice is the packed-vs-slice property test: on random
+// codecs and randomized patterns — including star-heavy ones — Covers,
+// Distance, LCA, and Level must agree exactly between the packed and slice
+// representations, and Pack/Unpack must round-trip.
+func TestPackedOpsMatchSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + rng.Intn(10)
+		c, cards := genCodec(t, rng, m)
+		for _, starP := range []int{0, 33, 80, 100} {
+			for i := 0; i < 50; i++ {
+				p := genCodecPattern(rng, cards, starP)
+				q := genCodecPattern(rng, cards, starP)
+				pk, qk := c.Pack(p), c.Pack(q)
+
+				back := make(Pattern, m)
+				c.Unpack(pk, back)
+				if !Equal(p, back) {
+					t.Fatalf("round trip: %v -> %x -> %v (cards %v)", p, pk, back, cards)
+				}
+				if got, want := c.Covers(pk, qk), p.Covers(q); got != want {
+					t.Fatalf("Covers(%v, %v) packed %v, slice %v", p, q, got, want)
+				}
+				if got, want := c.Distance(pk, qk), Distance(p, q); got != want {
+					t.Fatalf("Distance(%v, %v) packed %d, slice %d", p, q, got, want)
+				}
+				if got, want := c.Level(pk), p.Level(); got != want {
+					t.Fatalf("Level(%v) packed %d, slice %d", p, got, want)
+				}
+				c.Unpack(c.LCA(pk, qk), back)
+				if want := LCA(p, q); !Equal(back, want) {
+					t.Fatalf("LCA(%v, %v) packed %v, slice %v", p, q, back, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPackedKeyInjective: distinct patterns must pack to distinct keys (the
+// property the integer-keyed cluster index relies on).
+func TestPackedKeyInjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	c, cards := genCodec(t, rng, 6)
+	seen := map[uint64]Pattern{}
+	for i := 0; i < 20000; i++ {
+		p := genCodecPattern(rng, cards, 33)
+		k := c.Pack(p)
+		if q, ok := seen[k]; ok && !Equal(p, q) {
+			t.Fatalf("key collision: %v and %v both pack to %x", p, q, k)
+		}
+		seen[k] = p.Clone()
+	}
+}
+
+// TestPackedAncestorsOrder: the packed enumeration must yield exactly the
+// keys of the slice enumeration, in the same subset-mask order — cluster ids
+// in the lattice index depend on this order being identical.
+func TestPackedAncestorsOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		m := 1 + rng.Intn(8)
+		c, cards := genCodec(t, rng, m)
+		tup := make([]int32, m)
+		for j := range tup {
+			tup[j] = int32(rng.Intn(cards[j]))
+		}
+		var want []uint64
+		Ancestors(tup, func(p Pattern) { want = append(want, c.Pack(p)) })
+		var got []uint64
+		c.Ancestors(c.Pack(FromTuple(tup)), func(k uint64) { got = append(got, k) })
+		if len(got) != len(want) {
+			t.Fatalf("m=%d: %d packed ancestors, want %d", m, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("m=%d ancestor %d: packed %x, slice-packed %x", m, i, got[i], want[i])
+			}
+		}
+		appended := c.AppendAncestors(c.Pack(FromTuple(tup)), nil)
+		if len(appended) != len(want) {
+			t.Fatalf("m=%d: AppendAncestors yielded %d keys, want %d", m, len(appended), len(want))
+		}
+		for i := range appended {
+			if appended[i] != want[i] {
+				t.Fatalf("m=%d AppendAncestors[%d] = %x, want %x", m, i, appended[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCodecOverflowFallback: widths that cannot fit 64 bits must refuse to
+// build a codec (the caller's signal to stay on the slice representation),
+// while the widest fitting layout still works.
+func TestCodecOverflowFallback(t *testing.T) {
+	// 16 attributes x 4-bit fields = 64 bits: fits exactly.
+	cards := make([]int, MaxAttrs)
+	for j := range cards {
+		cards[j] = 10 // needs 4 bits (sentinel 15)
+	}
+	c, ok := NewCodec(cards)
+	if !ok {
+		t.Fatal("16x4-bit codec should fit")
+	}
+	p := make(Pattern, MaxAttrs)
+	for j := range p {
+		p[j] = int32(j % 10)
+	}
+	back := make(Pattern, MaxAttrs)
+	c.Unpack(c.Pack(p), back)
+	if !Equal(p, back) {
+		t.Fatalf("64-bit-exact round trip failed: %v vs %v", p, back)
+	}
+	if c.AllStar() != ^uint64(0) {
+		t.Fatalf("64-bit-exact all-star = %x", c.AllStar())
+	}
+
+	// One more bit anywhere overflows.
+	cards[0] = 16 // needs 5 bits
+	if _, ok := NewCodec(cards); ok {
+		t.Fatal("65-bit codec should not fit")
+	}
+	// A huge domain next to a small one overflows too.
+	if _, ok := NewCodec([]int{1 << 62, 4}); ok {
+		t.Fatal("63-bit field plus a 3-bit field should not fit")
+	}
+	// Too many attributes is a fallback even if widths would fit.
+	if _, ok := NewCodec(make([]int, MaxAttrs+1)); ok {
+		t.Fatal("m > MaxAttrs should not build a codec")
+	}
+}
+
+// TestPackChecked: out-of-range values, the sentinel bit pattern, and wrong
+// arity must be rejected instead of packed into a colliding key.
+func TestPackChecked(t *testing.T) {
+	c, ok := NewCodec([]int{3, 5}) // 2-bit and 3-bit fields
+	if !ok {
+		t.Fatal("codec should fit")
+	}
+	if k, ok := c.PackChecked(Pattern{2, Star}); !ok || k != c.Pack(Pattern{2, Star}) {
+		t.Fatalf("valid pattern rejected or mispacked: %x, %v", k, ok)
+	}
+	for _, bad := range []Pattern{
+		{3, 0},      // 3 is the field-0 sentinel
+		{4, 0},      // does not fit field 0
+		{-2, 0},     // negative non-star
+		{0, 7},      // field-1 sentinel
+		{0, 1 << 9}, // far out of range
+		{0},         // wrong arity
+		{0, 0, 0},   // wrong arity
+	} {
+		if _, ok := c.PackChecked(bad); ok {
+			t.Errorf("PackChecked(%v) should fail", bad)
+		}
+	}
+
+	// Regression: with a field near the top of the word, an out-of-range
+	// value whose high bits fall off the 64-bit shift must not alias the key
+	// of a valid value.
+	cards := make([]int, MaxAttrs)
+	for j := range cards {
+		cards[j] = 9 // 4-bit fields; the last one sits at shift 60
+	}
+	wide, ok := NewCodec(cards)
+	if !ok {
+		t.Fatal("16x4-bit codec should fit")
+	}
+	p := make(Pattern, MaxAttrs)
+	p[MaxAttrs-1] = 1 | 1<<10 // == 1 after the bits above the field shift off
+	if _, ok := wide.PackChecked(p); ok {
+		t.Error("PackChecked must reject a value whose high bits overflow the shift")
+	}
+}

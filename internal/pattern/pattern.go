@@ -13,6 +13,14 @@ import (
 // Star is the don't-care value '*' in a pattern position.
 const Star int32 = -1
 
+// MaxAttrs is the maximum number of grouping attributes the pattern algebra
+// supports. It bounds the 2^m ancestor enumerations (Ancestors, cluster
+// generation in lattice.BuildIndex) and lets the packed representation
+// reserve one subset bit per attribute; every layer that rejects or panics on
+// wide schemas uses this one constant, so the bound reported by
+// lattice.BuildIndex and enforced by Ancestors cannot drift apart.
+const MaxAttrs = 16
+
 // Pattern is a cluster description: one dictionary-encoded value or Star per
 // attribute. A concrete tuple is a pattern with no Star (a singleton
 // cluster).
@@ -208,12 +216,12 @@ func itoa(v int) string {
 // callback receives a scratch pattern that is only valid for the duration of
 // the call; callers must Clone it to retain it. Enumeration order is by
 // subset bitmask, so the concrete tuple itself comes first and the all-star
-// pattern last. Ancestors panics if len(t) > 30 (the enumeration would be
-// astronomically large anyway).
+// pattern last. Ancestors panics if len(t) > MaxAttrs (the enumeration would
+// be astronomically large anyway).
 func Ancestors(t []int32, fn func(Pattern)) {
 	m := len(t)
-	if m > 30 {
-		panic("pattern: Ancestors over more than 30 attributes")
+	if m > MaxAttrs {
+		panic("pattern: Ancestors over more than MaxAttrs attributes")
 	}
 	scratch := make(Pattern, m)
 	for mask := 0; mask < 1<<m; mask++ {

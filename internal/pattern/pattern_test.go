@@ -256,13 +256,21 @@ func TestAncestorsEnumeration(t *testing.T) {
 	}
 }
 
-func TestAncestorsPanicsOnHugeM(t *testing.T) {
+// TestAncestorsAttributeBound pins both sides of the shared MaxAttrs bound:
+// enumeration works at exactly MaxAttrs attributes and panics one past it
+// (the same constant lattice.BuildIndex rejects schemas against).
+func TestAncestorsAttributeBound(t *testing.T) {
+	n := 0
+	Ancestors(make([]int32, MaxAttrs), func(Pattern) { n++ })
+	if n != 1<<MaxAttrs {
+		t.Errorf("m = MaxAttrs enumerated %d ancestors, want %d", n, 1<<MaxAttrs)
+	}
 	defer func() {
 		if recover() == nil {
-			t.Error("want panic for m > 30")
+			t.Error("want panic for m > MaxAttrs")
 		}
 	}()
-	Ancestors(make([]int32, 31), func(Pattern) {})
+	Ancestors(make([]int32, MaxAttrs+1), func(Pattern) {})
 }
 
 func TestFromTupleAndClone(t *testing.T) {

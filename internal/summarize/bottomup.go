@@ -37,11 +37,10 @@ func (ps *pairSet) init(ws *workset) {
 	ps.ws = ws
 	ps.pairs = ps.pairs[:0]
 	for i, a := range ws.ids {
-		ca := ws.ix.Cluster(a)
 		for _, b := range ws.ids[i+1:] {
 			ps.pairs = append(ps.pairs, pairInfo{
 				a: a, b: b, lca: -1,
-				dist: int32(pattern.Distance(ca.Pat, ws.ix.Cluster(b).Pat)),
+				dist: int32(ws.ix.Distance(a, b)),
 			})
 		}
 	}
@@ -109,14 +108,13 @@ func (ps *pairSet) merge(pi pairInfo) error {
 		if id == lca.ID {
 			continue
 		}
-		other := ps.ws.ix.Cluster(id)
 		x, y := lca.ID, id
 		if x > y {
 			x, y = y, x
 		}
 		ps.pairs = append(ps.pairs, pairInfo{
 			a: x, b: y, lca: -1,
-			dist: int32(pattern.Distance(lca.Pat, other.Pat)),
+			dist: int32(ps.ws.ix.Distance(lca.ID, id)),
 		})
 	}
 	return nil
@@ -241,7 +239,7 @@ func BottomUpLevelStart(ix *lattice.Index, p Params, opts ...Option) (*Solution,
 		// Skip seeds covered by an existing seed to keep the antichain.
 		skip := false
 		for _, id := range ws.ids {
-			if ws.ix.Clusters[id].Pat.Covers(c.Pat) {
+			if ws.ix.Covers(id, c.ID) {
 				skip = true
 				break
 			}

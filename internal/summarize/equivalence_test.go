@@ -621,6 +621,79 @@ func TestDenseSweeperMatchesReference(t *testing.T) {
 	}
 }
 
+// TestPackedIndexMatchesSliceIndex pins packed == slice end to end on every
+// algorithm: the same space built on the packed uint64 fast path and with the
+// forced slice fallback must drive the dense engine to bit-identical
+// solutions and sweep traces (the packed representation changes the key and
+// the Covers/Distance/LCA machinery, never a decision).
+func TestPackedIndexMatchesSliceIndex(t *testing.T) {
+	ixPacked := randomIndex(t, 970, 140, 5, 3, 30)
+	if !ixPacked.PackedKeys() {
+		t.Fatal("packed fast path should engage on the synthetic space")
+	}
+	ixSlice, err := lattice.BuildIndex(ixPacked.Space, ixPacked.L, lattice.WithSliceKeys())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ixSlice.PackedKeys() {
+		t.Fatal("WithSliceKeys should force the fallback")
+	}
+	params := []Params{
+		{K: 4, L: 30, D: 2},
+		{K: 8, L: 15, D: 3},
+		{K: 25, L: 30, D: 1},
+	}
+	for _, p := range params {
+		for _, useDelta := range []bool{true, false} {
+			for _, algo := range equivalenceAlgos {
+				label := fmt.Sprintf("packed-vs-slice/%s/%+v/delta=%v", algo, p, useDelta)
+				a, err := Run(algo, ixPacked, p, WithDelta(useDelta), WithRand(rand.New(rand.NewSource(7))))
+				if err != nil {
+					t.Fatalf("%s: packed: %v", label, err)
+				}
+				b, err := Run(algo, ixSlice, p, WithDelta(useDelta), WithRand(rand.New(rand.NewSource(7))))
+				if err != nil {
+					t.Fatalf("%s: slice: %v", label, err)
+				}
+				assertBitIdentical(t, label, a, b)
+			}
+		}
+	}
+	swP, err := NewSweeper(ixPacked, 30, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swS, err := NewSweeper(ixSlice, 30, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for D := 0; D <= ixPacked.Space.M(); D++ {
+		a, err := swP.RunD(D, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := swS.RunD(D, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.States) != len(b.States) {
+			t.Fatalf("D=%d: %d states packed vs %d slice", D, len(a.States), len(b.States))
+		}
+		for j := range a.States {
+			x, y := &a.States[j], &b.States[j]
+			if x.Size != y.Size || x.Count != y.Count ||
+				math.Float64bits(x.Sum) != math.Float64bits(y.Sum) {
+				t.Fatalf("D=%d state %d: %+v packed vs %+v slice", D, j, x, y)
+			}
+			for i := range x.Clusters {
+				if x.Clusters[i] != y.Clusters[i] {
+					t.Fatalf("D=%d state %d cluster %d: %d packed vs %d slice", D, j, i, x.Clusters[i], y.Clusters[i])
+				}
+			}
+		}
+	}
+}
+
 // movieLensIndex builds a cluster index from a synthetic MovieLens aggregate
 // query executed through the SQL front end, like the paper's experiments.
 func movieLensIndex(t *testing.T, m, minCount, L int) *lattice.Index {

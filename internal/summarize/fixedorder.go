@@ -2,7 +2,6 @@ package summarize
 
 import (
 	"qagview/internal/lattice"
-	"qagview/internal/pattern"
 )
 
 // fixedOrderProcess runs one step of Algorithm 3 for candidate cluster cand
@@ -13,14 +12,14 @@ func fixedOrderProcess(ws *workset, p Params, cand *lattice.Cluster) error {
 	// Subsumption: if an existing cluster covers cand, everything cand
 	// covers is already covered and adding it would break the antichain.
 	for _, id := range ws.ids {
-		if ws.ix.Clusters[id].Pat.Covers(cand.Pat) {
+		if ws.ix.Covers(id, cand.ID) {
 			return nil
 		}
 	}
 	if ws.size() < p.K {
 		minDist := int(^uint(0) >> 1)
 		for _, id := range ws.ids {
-			if d := pattern.Distance(cand.Pat, ws.ix.Clusters[id].Pat); d < minDist {
+			if d := ws.ix.Distance(cand.ID, id); d < minDist {
 				minDist = d
 			}
 		}
@@ -43,7 +42,7 @@ func mergeBestPartner(ws *workset, cand *lattice.Cluster, filter func(dist int) 
 	bestVal := 0.0
 	for _, id := range ws.ids {
 		c := ws.ix.Cluster(id)
-		if filter != nil && !filter(pattern.Distance(cand.Pat, c.Pat)) {
+		if filter != nil && !filter(ws.ix.Distance(cand.ID, id)) {
 			continue
 		}
 		lcaID, err := ws.lca.LCAID(c.ID, cand.ID)

@@ -172,7 +172,7 @@ func (ws *workset) add(c *lattice.Cluster) (removed []int32) {
 	removed = ws.removedBuf[:0]
 	keep := ws.ids[:0]
 	for _, id := range ws.ids {
-		if id != c.ID && c.Pat.Covers(ws.ix.Clusters[id].Pat) {
+		if id != c.ID && ws.ix.Covers(c.ID, id) {
 			ws.inSol[id] = 0
 			removed = append(removed, id)
 		} else {
