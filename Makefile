@@ -9,7 +9,7 @@ BENCH_TIME    ?= 3x
 BENCH_OUT     ?= bench.txt
 BENCH_JSON    ?= BENCH_3.json
 
-.PHONY: build test race bench fuzz fmt vet ci
+.PHONY: build test race bench benchgate fuzz fmt vet ci e2e serve
 
 build:
 	go build ./...
@@ -35,8 +35,22 @@ bench:
 	go test -run '^$$' -bench '$(BENCH_SUMMARIZE)' -benchmem -benchtime 50x -count $(BENCH_COUNT) ./internal/summarize/ | tee -a $(BENCH_OUT)
 	go run ./cmd/benchjson < $(BENCH_OUT) > $(BENCH_JSON)
 
+# benchgate re-measures and fails on a >30% regression against the
+# committed baseline (the CI bench job's gate). Refresh the baseline from a
+# trusted run: make bench && cp $(BENCH_JSON) bench_baseline.json
+benchgate: bench
+	go run ./cmd/benchcmp -baseline bench_baseline.json -candidate $(BENCH_JSON) -threshold 0.30
+
 # fuzz gives the SQL front end a short adversarial workout.
 fuzz:
 	go test -fuzz FuzzParse -fuzztime 30s ./internal/engine/
+
+# e2e builds qagviewd and drives its session/solution/diff endpoints.
+e2e:
+	./scripts/e2e_smoke.sh
+
+# serve runs the exploration server on :8080 with the MovieLens sample.
+serve:
+	go run ./cmd/qagviewd -addr :8080 -sample movielens
 
 ci: vet build test race

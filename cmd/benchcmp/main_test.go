@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func fp(v float64) *float64 { return &v }
+
+func TestCompareDetectsRegressions(t *testing.T) {
+	baseline := map[string]result{
+		"BenchmarkFast":   {NsPerOp: 1000, AllocsPerOp: fp(100), Runs: 3},
+		"BenchmarkSteady": {NsPerOp: 5000, AllocsPerOp: fp(50), Runs: 3},
+		"BenchmarkGone":   {NsPerOp: 10, Runs: 1},
+	}
+
+	t.Run("clean", func(t *testing.T) {
+		candidate := map[string]result{
+			"BenchmarkFast":   {NsPerOp: 1200, AllocsPerOp: fp(100), Runs: 3}, // +20% < 30%
+			"BenchmarkSteady": {NsPerOp: 4000, AllocsPerOp: fp(50), Runs: 3},  // improved
+			"BenchmarkNew":    {NsPerOp: 7, Runs: 1},
+		}
+		report, regressed := compare(baseline, candidate, 0.30)
+		if regressed {
+			t.Fatalf("clean run flagged as regression:\n%s", report)
+		}
+		if !strings.Contains(report, "only in baseline") || !strings.Contains(report, "new benchmark") {
+			t.Fatalf("membership changes not reported:\n%s", report)
+		}
+	})
+
+	t.Run("ns regression", func(t *testing.T) {
+		candidate := map[string]result{
+			"BenchmarkFast":   {NsPerOp: 1400, AllocsPerOp: fp(100), Runs: 3}, // +40%
+			"BenchmarkSteady": {NsPerOp: 5000, AllocsPerOp: fp(50), Runs: 3},
+		}
+		report, regressed := compare(baseline, candidate, 0.30)
+		if !regressed {
+			t.Fatalf("+40%% ns/op not flagged:\n%s", report)
+		}
+		if !strings.Contains(report, "BenchmarkFast") || !strings.Contains(report, "REGRESSED") {
+			t.Fatalf("report does not name the regressed benchmark:\n%s", report)
+		}
+	})
+
+	t.Run("alloc regression", func(t *testing.T) {
+		candidate := map[string]result{
+			"BenchmarkFast":   {NsPerOp: 1000, AllocsPerOp: fp(200), Runs: 3}, // 2x allocs
+			"BenchmarkSteady": {NsPerOp: 5000, AllocsPerOp: fp(50), Runs: 3},
+		}
+		_, regressed := compare(baseline, candidate, 0.30)
+		if !regressed {
+			t.Fatal("2x allocs/op not flagged")
+		}
+	})
+
+	t.Run("tiny alloc jitter tolerated", func(t *testing.T) {
+		base := map[string]result{"BenchmarkTiny": {NsPerOp: 100, AllocsPerOp: fp(2), Runs: 3}}
+		candidate := map[string]result{"BenchmarkTiny": {NsPerOp: 100, AllocsPerOp: fp(3), Runs: 3}}
+		if _, regressed := compare(base, candidate, 0.30); regressed {
+			t.Fatal("2 -> 3 allocs/op must not fail the gate")
+		}
+	})
+
+	t.Run("boundary is exclusive", func(t *testing.T) {
+		candidate := map[string]result{
+			"BenchmarkFast":   {NsPerOp: 1300, AllocsPerOp: fp(100), Runs: 3}, // exactly +30%
+			"BenchmarkSteady": {NsPerOp: 5000, AllocsPerOp: fp(50), Runs: 3},
+		}
+		if _, regressed := compare(baseline, candidate, 0.30); regressed {
+			t.Fatal("exactly +30% must pass a 30% threshold")
+		}
+	})
+}

@@ -1,0 +1,117 @@
+// Command qagviewd serves interactive exploration sessions over HTTP/JSON:
+// load tables, run aggregate queries, open (query, L) sessions, and read
+// (k, D) solutions, guidance series, and solution diffs — the serving face
+// of the paper's interactive mode (Section 6), sized for many concurrent
+// users by the session LRU and background precompute.
+//
+// Usage examples:
+//
+//	qagviewd -addr :8080 -sample movielens
+//	qagviewd -addr :8080 -snapshots /var/lib/qagviewd -max-sessions 128 -max-mb 512
+//
+// See README.md ("Serving") for the endpoint table and a curl walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"qagview/internal/movielens"
+	"qagview/internal/server"
+	"qagview/internal/tpcds"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qagviewd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	sample := flag.String("sample", "", "preload a sample dataset: movielens or tpcds")
+	sampleRatings := flag.Int("sample-ratings", 0, "override the sample's row count (0 = dataset default)")
+	snapshots := flag.String("snapshots", "", "directory for precompute-store snapshots (empty = disabled)")
+	maxSessions := flag.Int("max-sessions", 64, "maximum live sessions (LRU beyond)")
+	maxMB := flag.Int64("max-mb", 256, "session-cache byte budget in MiB (0 = unlimited)")
+	flag.Parse()
+
+	cfg := server.Config{
+		MaxSessions: *maxSessions,
+		SnapshotDir: *snapshots,
+	}
+	if *maxMB == 0 {
+		cfg.MaxCacheBytes = -1
+	} else {
+		cfg.MaxCacheBytes = *maxMB << 20
+	}
+	if *snapshots != "" {
+		if err := os.MkdirAll(*snapshots, 0o755); err != nil {
+			return err
+		}
+	}
+	srv := server.New(cfg)
+	defer srv.Close()
+
+	switch *sample {
+	case "":
+	case "movielens":
+		mlCfg := movielens.DefaultConfig()
+		if *sampleRatings > 0 {
+			mlCfg.Ratings = *sampleRatings
+		}
+		rel, err := movielens.Generate(mlCfg)
+		if err != nil {
+			return err
+		}
+		if err := srv.Register(rel); err != nil {
+			return err
+		}
+		log.Printf("loaded sample table %s (%d rows)", rel.Name(), rel.NumRows())
+	case "tpcds":
+		rel, err := tpcds.Generate(tpcds.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		if err := srv.Register(rel); err != nil {
+			return err
+		}
+		log.Printf("loaded sample table %s (%d rows)", rel.Name(), rel.NumRows())
+	default:
+		return fmt.Errorf("unknown -sample %q (want movielens or tpcds)", *sample)
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("qagviewd listening on %s", *addr)
+		errc <- hs.ListenAndServe()
+	}()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		log.Printf("received %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return nil
+	}
+}

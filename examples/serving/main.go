@@ -1,0 +1,137 @@
+// Example serving walks the qagviewd HTTP API end to end: it starts the
+// server in-process on an ephemeral port, loads a table, opens an
+// exploration session, and reads solutions, a guidance grid, and a slider
+// diff — printing the equivalent curl command for every step, so the output
+// doubles as a copy-paste walkthrough against a real deployment
+// (`qagviewd -addr :8080 -sample movielens`).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"qagview/internal/movielens"
+	"qagview/internal/server"
+)
+
+func main() {
+	srv := server.New(server.Config{MaxSessions: 8})
+	defer srv.Close()
+
+	rel, err := movielens.Generate(movielens.Config{Users: 400, Movies: 600, Ratings: 20_000, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Register(rel); err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = http.Serve(ln, srv.Handler()) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("qagviewd serving on %s (table RatingTable, %d rows)\n", base, rel.NumRows())
+
+	sql := "SELECT hdec, agegrp, gender, avg(rating) AS val FROM RatingTable " +
+		"GROUP BY hdec, agegrp, gender HAVING count(*) > 50 ORDER BY val DESC"
+
+	// 1. Run the aggregate query to see the ranked answer space.
+	body := fmt.Sprintf(`{"sql": %q, "limit": 3}`, sql)
+	out := call("POST", base+"/v1/queries", body)
+	fmt.Printf("top groups: n=%v, first row %v (val %v)\n\n",
+		out["n"], out["rows"].([]any)[0], out["vals"].([]any)[0])
+
+	// 2. Open an exploration session: Summarizer for (query, L) plus a
+	// background (k, D) precompute.
+	body = fmt.Sprintf(`{"sql": %q, "l": 8, "kmin": 1, "kmax": 6, "ds": [1, 2]}`, sql)
+	out = call("POST", base+"/v1/sessions", body)
+	id := out["session"].(string)
+	fmt.Printf("session %s: %v clusters over %v answers (store_ready=%v)\n\n",
+		id, out["clusters"], out["n"], out["store_ready"])
+
+	// 3. Read solutions while dragging the k slider. Early reads may be
+	// served live while the store builds; the response labels its source.
+	for _, k := range []int{2, 3, 4} {
+		out = call("GET", fmt.Sprintf("%s/v1/sessions/%s/solution?k=%d&d=2", base, id, k), "")
+		fmt.Printf("k=%d (%s): objective %.3f, %d clusters\n",
+			k, out["source"], out["objective"].(float64), len(out["clusters"].([]any)))
+	}
+	fmt.Println()
+
+	// 4. Wait for the background sweep, then read the guidance grid (the
+	// value-vs-k series behind the paper's parameter-selection view).
+	for {
+		out = call("GET", base+"/v1/sessions/"+id, "")
+		if out["store_ready"] == true {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	out = call("GET", base+"/v1/sessions/"+id+"/guidance", "")
+	fmt.Printf("guidance series for D=2: %v\n\n", compact(out["series"].(map[string]any)["2"]))
+
+	// 5. Diff two neighbouring slider positions (the sankey view's data).
+	out = call("GET", fmt.Sprintf("%s/v1/sessions/%s/diff?k1=2&d1=2&k2=4&d2=2", base, id), "")
+	fmt.Printf("diff k=2 -> k=4: %d left clusters, %d right clusters, overlap %v\n\n",
+		len(out["left"].([]any)), len(out["right"].([]any)), compact(out["overlap"]))
+
+	// 6. Operational surfaces.
+	out = call("GET", base+"/metrics", "")
+	sessions := out["sessions"].(map[string]any)
+	fmt.Printf("metrics: %v live sessions, %v cache bytes\n", sessions["live"], sessions["bytes"])
+}
+
+// call issues the request, prints the equivalent curl line, and decodes the
+// JSON response.
+func call(method, url, body string) map[string]any {
+	curl := "curl -s"
+	if method != "GET" {
+		curl += " -X " + method + " -H 'Content-Type: application/json' -d '" + body + "'"
+	}
+	fmt.Printf("$ %s '%s'\n", curl, url)
+
+	var req *http.Request
+	var err error
+	if body == "" {
+		req, err = http.NewRequest(method, url, nil)
+	} else {
+		req, err = http.NewRequest(method, url, strings.NewReader(body))
+		if err == nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode >= 400 {
+		log.Fatalf("%s %s: HTTP %d: %s", method, url, resp.StatusCode, raw)
+	}
+	out := map[string]any{}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		log.Fatalf("decoding %s response: %v", url, err)
+	}
+	return out
+}
+
+// compact renders a JSON fragment on one line for the walkthrough output.
+func compact(v any) string {
+	raw, _ := json.Marshal(v)
+	return string(raw)
+}

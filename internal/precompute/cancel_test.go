@@ -1,0 +1,73 @@
+package precompute
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRunCancelledContext checks that a cancelled context aborts the
+// precompute deterministically on both the sequential and parallel paths.
+func TestRunCancelledContext(t *testing.T) {
+	ix := randomIndex(t, 21, 80, 4, 4, 20)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, par := range []int{1, 4} {
+		st, err := Run(ix, 20, 1, 6, []int{0, 1, 2, 3}, Parallelism(par), WithContext(ctx))
+		if st != nil {
+			t.Fatalf("Parallelism(%d): cancelled run returned a store", par)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Parallelism(%d): err = %v, want context.Canceled", par, err)
+		}
+	}
+}
+
+// TestRunCancelMidFlight races a cancellation against the per-D fan-out.
+// Whichever wins, the outcome must be clean: either a complete store, or a
+// nil store with ctx's error — never a partial store or a foreign error.
+func TestRunCancelMidFlight(t *testing.T) {
+	ix := randomIndex(t, 22, 120, 4, 4, 30)
+	for trial := 0; trial < 10; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(time.Duration(trial) * 200 * time.Microsecond)
+			cancel()
+		}()
+		st, err := Run(ix, 30, 1, 8, []int{0, 1, 2, 3, 4}, Parallelism(4), WithContext(ctx))
+		wg.Wait()
+		switch {
+		case err == nil:
+			if st == nil {
+				t.Fatal("nil store without error")
+			}
+			if _, serr := st.Solution(4, 2); serr != nil {
+				t.Fatalf("complete store cannot retrieve: %v", serr)
+			}
+		case errors.Is(err, context.Canceled):
+			if st != nil {
+				t.Fatal("cancelled run returned a store")
+			}
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+}
+
+// TestRunWithoutContextUnaffected pins the default path: no option, no
+// cancellation checks biting.
+func TestRunWithoutContextUnaffected(t *testing.T) {
+	ix := randomIndex(t, 23, 60, 4, 4, 15)
+	st, err := Run(ix, 15, 1, 5, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Solution(3, 1); err != nil {
+		t.Fatal(err)
+	}
+}

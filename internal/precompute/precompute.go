@@ -7,6 +7,7 @@
 package precompute
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -21,10 +22,11 @@ import (
 type config struct {
 	parallelism int
 	sum         []summarize.Option
+	ctx         context.Context
 }
 
 func defaultConfig() config {
-	return config{parallelism: runtime.GOMAXPROCS(0)}
+	return config{parallelism: runtime.GOMAXPROCS(0), ctx: context.Background()}
 }
 
 // Option customizes a precompute run.
@@ -36,6 +38,12 @@ type Option func(*config)
 // replays share only the immutable Fixed-Order state and the per-D entries
 // are assembled in D order.
 func Parallelism(n int) Option { return func(c *config) { c.parallelism = n } }
+
+// WithContext attaches ctx to the run. Cancellation is observed between
+// per-D replays: no new replay starts once ctx is done, in-flight replays
+// finish, and Run returns ctx.Err(). Serving layers use this to abandon
+// background sweeps whose session was evicted.
+func WithContext(ctx context.Context) Option { return func(c *config) { c.ctx = ctx } }
 
 // WithSummarize forwards options (Delta-Judgment, hybrid factor, ...) to the
 // underlying shared Fixed-Order phase and per-D replays.
@@ -105,7 +113,7 @@ func Run(ix *lattice.Index, L, kMin, kMax int, ds []int, opts ...Option) (*Store
 		perD: make(map[int]*dEntry, len(ds)),
 	}
 	sort.Ints(st.Ds)
-	entries, err := runAll(sw, st.Ds, kMin, kMax, cfg.parallelism)
+	entries, err := runAll(cfg.ctx, sw, st.Ds, kMin, kMax, cfg.parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -129,8 +137,9 @@ func runOne(sw *summarize.Sweeper, d, kMin, kMax int) (*dEntry, error) {
 // runAll computes the per-D entries, fanning out over up to `parallelism`
 // workers. Each worker replays from its own clone of the shared Fixed-Order
 // state, so replays never share mutable data (see workset.clone). The error
-// reported is the one for the smallest failing D, independent of scheduling.
-func runAll(sw *summarize.Sweeper, ds []int, kMin, kMax, parallelism int) ([]*dEntry, error) {
+// reported is the one for the smallest failing D, independent of scheduling;
+// cancellation takes precedence over per-D errors.
+func runAll(ctx context.Context, sw *summarize.Sweeper, ds []int, kMin, kMax, parallelism int) ([]*dEntry, error) {
 	entries := make([]*dEntry, len(ds))
 	workers := parallelism
 	if workers > len(ds) {
@@ -138,6 +147,9 @@ func runAll(sw *summarize.Sweeper, ds []int, kMin, kMax, parallelism int) ([]*dE
 	}
 	if workers <= 1 {
 		for i, d := range ds {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			e, err := runOne(sw, d, kMin, kMax)
 			if err != nil {
 				return nil, err
@@ -154,15 +166,26 @@ func runAll(sw *summarize.Sweeper, ds []int, kMin, kMax, parallelism int) ([]*dE
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if ctx.Err() != nil {
+					continue // drain without starting new replays
+				}
 				entries[i], errs[i] = runOne(sw, ds[i], kMin, kMax)
 			}
 		}()
 	}
+dispatch:
 	for i := range ds {
-		next <- i
+		select {
+		case <-ctx.Done():
+			break dispatch
+		case next <- i:
+		}
 	}
 	close(next)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -319,6 +342,26 @@ func (s *Store) Value(k, d int) (float64, error) {
 		return 0, fmt.Errorf("precompute: no solution stored for k = %d, D = %d", k, d)
 	}
 	return entry.avg[k-s.KMin], nil
+}
+
+// SizeBytes estimates the store's resident memory: the per-D interval lists,
+// their interval-tree copies, and the guidance value arrays. Serving layers
+// use it for byte-budget cache accounting; it is an estimate, not an exact
+// allocator figure.
+func (s *Store) SizeBytes() int64 {
+	const (
+		intervalBytes = 24 // Lo, Hi int + Payload int32, padded
+		entryOverhead = 96 // dEntry + tree + node headers, amortized
+	)
+	n := int64(len(s.Ds)) * 8
+	for _, e := range s.perD {
+		// Intervals are held twice: the raw list kept for serialization and
+		// the centered-tree layout built from it.
+		n += int64(len(e.ivs)+e.tree.Len()) * intervalBytes
+		n += int64(len(e.avg)) * 8
+		n += entryOverhead
+	}
+	return n
 }
 
 // StoredIntervals returns the total number of intervals stored across all D,

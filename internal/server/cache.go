@@ -1,0 +1,104 @@
+package server
+
+import "container/list"
+
+// lruCache is a byte-accounted LRU over string keys: entries carry an
+// explicit byte cost and eviction runs while either the entry or the byte
+// budget is exceeded. It is not goroutine-safe; the owner holds its own
+// lock (sessionManager.mu).
+type lruCache struct {
+	maxEntries int   // 0 = unlimited
+	maxBytes   int64 // 0 = unlimited
+	ll         *list.List
+	items      map[string]*list.Element
+	bytes      int64
+	onEvict    func(key string, value any)
+}
+
+type lruEntry struct {
+	key   string
+	value any
+	bytes int64
+}
+
+func newLRUCache(maxEntries int, maxBytes int64, onEvict func(string, any)) *lruCache {
+	return &lruCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+		onEvict:    onEvict,
+	}
+}
+
+// Get returns the value for key and marks it most-recently-used.
+func (c *lruCache) Get(key string) (any, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).value, true
+}
+
+// Add inserts (or replaces) key with the given byte cost, then evicts from
+// the cold end until the caps hold again. The just-added entry is never
+// evicted, even if it alone exceeds the byte budget: a session larger than
+// the budget still has to exist to be served.
+func (c *lruCache) Add(key string, value any, bytes int64) {
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*lruEntry)
+		c.bytes += bytes - e.bytes
+		e.value, e.bytes = value, bytes
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&lruEntry{key: key, value: value, bytes: bytes})
+		c.bytes += bytes
+	}
+	c.evictOver()
+}
+
+// Resize adjusts the byte cost of an existing entry (a session's store
+// arrives after the session itself) and evicts if the new cost overflows
+// the budget.
+func (c *lruCache) Resize(key string, bytes int64) {
+	el, ok := c.items[key]
+	if !ok {
+		return
+	}
+	e := el.Value.(*lruEntry)
+	c.bytes += bytes - e.bytes
+	e.bytes = bytes
+	c.evictOver()
+}
+
+func (c *lruCache) evictOver() {
+	for c.ll.Len() > 1 &&
+		((c.maxEntries > 0 && c.ll.Len() > c.maxEntries) ||
+			(c.maxBytes > 0 && c.bytes > c.maxBytes)) {
+		c.removeElement(c.ll.Back())
+	}
+}
+
+// Remove drops key without LRU consideration.
+func (c *lruCache) Remove(key string) {
+	if el, ok := c.items[key]; ok {
+		c.removeElement(el)
+	}
+}
+
+func (c *lruCache) removeElement(el *list.Element) {
+	e := el.Value.(*lruEntry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= e.bytes
+	if c.onEvict != nil {
+		c.onEvict(e.key, e.value)
+	}
+}
+
+// Len returns the number of live entries.
+func (c *lruCache) Len() int { return c.ll.Len() }
+
+// Bytes returns the accounted byte total of live entries.
+func (c *lruCache) Bytes() int64 { return c.bytes }

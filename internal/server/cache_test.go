@@ -1,0 +1,133 @@
+package server
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLRUCacheByteAccounting(t *testing.T) {
+	var evicted []string
+	c := newLRUCache(0, 100, func(k string, _ any) { evicted = append(evicted, k) })
+
+	c.Add("a", 1, 40)
+	c.Add("b", 2, 40)
+	if c.Len() != 2 || c.Bytes() != 80 {
+		t.Fatalf("len=%d bytes=%d, want 2/80", c.Len(), c.Bytes())
+	}
+	// Touch a so b becomes the LRU victim.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.Add("c", 3, 40) // 120 > 100: evicts b
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Fatalf("evicted = %v, want [b]", evicted)
+	}
+	if c.Len() != 2 || c.Bytes() != 80 {
+		t.Fatalf("after eviction: len=%d bytes=%d, want 2/80", c.Len(), c.Bytes())
+	}
+
+	// Resize past the budget evicts the cold entry (a), not the resized one.
+	c.Resize("c", 90)
+	if len(evicted) != 2 || evicted[1] != "a" {
+		t.Fatalf("evicted = %v, want [b a]", evicted)
+	}
+	if c.Bytes() != 90 {
+		t.Fatalf("bytes = %d, want 90", c.Bytes())
+	}
+
+	// An entry bigger than the whole budget still lives (never evict the
+	// newest entry).
+	c.Add("huge", 4, 500)
+	if _, ok := c.Get("huge"); !ok {
+		t.Fatal("oversized entry must survive")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1 (c evicted)", c.Len())
+	}
+
+	c.Remove("huge")
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("after remove: len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+	if evicted[len(evicted)-1] != "huge" {
+		t.Fatalf("explicit remove must fire the evict hook for cleanup, got %v", evicted)
+	}
+}
+
+func TestLRUCacheEntryCap(t *testing.T) {
+	c := newLRUCache(3, 0, nil)
+	for _, k := range []string{"a", "b", "c", "d"} {
+		c.Add(k, k, 1)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a should have been evicted")
+	}
+	// Replacing an existing key does not grow the cache.
+	c.Add("d", "d2", 5)
+	if c.Len() != 3 || c.Bytes() != 7 {
+		t.Fatalf("after replace: len=%d bytes=%d, want 3/7", c.Len(), c.Bytes())
+	}
+	if v, _ := c.Get("d"); v != "d2" {
+		t.Fatalf("replace lost the new value: %v", v)
+	}
+}
+
+func TestSingleflightShares(t *testing.T) {
+	var g flightGroup
+	started := make(chan struct{})
+	release := make(chan struct{})
+	results := make(chan string, 8)
+	var calls atomic.Int32
+	go func() {
+		v, _, _ := g.Do("k", func() (any, error) {
+			calls.Add(1)
+			close(started)
+			<-release
+			return "owner", nil
+		})
+		results <- v.(string)
+	}()
+	<-started
+	for i := 0; i < 7; i++ {
+		go func() {
+			v, _, shared := g.Do("k", func() (any, error) {
+				calls.Add(1)
+				return "dup", nil
+			})
+			if !shared {
+				t.Error("duplicate call not marked shared")
+			}
+			results <- v.(string)
+		}()
+	}
+	// Hold the owner until every duplicate is registered on its call, so
+	// all 7 must share its result.
+	waiters := func() int {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		if c := g.m["k"]; c != nil {
+			return c.dups
+		}
+		return -1
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for waiters() != 7 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d waiters registered", waiters())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	for i := 0; i < 8; i++ {
+		if v := <-results; v != "owner" {
+			t.Fatalf("result %d = %q, want owner", i, v)
+		}
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fn ran %d times, want 1", n)
+	}
+}

@@ -1,0 +1,461 @@
+package server
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"qagview"
+)
+
+// writeJSON renders v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeErr renders a JSON error envelope.
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// decodeBody strictly decodes the request body into v.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// ---- tables ----
+
+type tableRequest struct {
+	// Name is the table name queries refer to.
+	Name string `json:"name"`
+	// CSV is the table content with a header row; mutually exclusive with
+	// Attrs/Rows.
+	CSV string `json:"csv,omitempty"`
+	// Attrs and Rows carry the table inline: a header plus rendered rows.
+	Attrs []string   `json:"attrs,omitempty"`
+	Rows  [][]string `json:"rows,omitempty"`
+	// Kinds maps column names to "string", "int", or "float" (default
+	// string).
+	Kinds map[string]string `json:"kinds,omitempty"`
+}
+
+func parseKinds(kinds map[string]string) (map[string]qagview.Kind, error) {
+	if kinds == nil {
+		return nil, nil
+	}
+	out := make(map[string]qagview.Kind, len(kinds))
+	for col, k := range kinds {
+		switch strings.ToLower(k) {
+		case "string", "text":
+			out[col] = qagview.KindString
+		case "int", "integer":
+			out[col] = qagview.KindInt
+		case "float", "double", "real":
+			out[col] = qagview.KindFloat
+		default:
+			return nil, fmt.Errorf("column %q: unknown kind %q (want string, int, or float)", col, k)
+		}
+	}
+	return out, nil
+}
+
+func (s *Server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
+	var req tableRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		writeErr(w, http.StatusBadRequest, "missing table name")
+		return
+	}
+	hasCSV := req.CSV != ""
+	hasInline := len(req.Attrs) > 0 || len(req.Rows) > 0
+	if hasCSV == hasInline {
+		writeErr(w, http.StatusBadRequest, "provide exactly one of csv or attrs+rows")
+		return
+	}
+	if hasInline && len(req.Attrs) == 0 {
+		writeErr(w, http.StatusBadRequest, "inline rows need attrs")
+		return
+	}
+	kinds, err := parseKinds(req.Kinds)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad kinds: %v", err)
+		return
+	}
+	raw := req.CSV
+	if raw == "" {
+		var buf bytes.Buffer
+		cw := csv.NewWriter(&buf)
+		_ = cw.Write(req.Attrs)
+		for _, row := range req.Rows {
+			_ = cw.Write(row)
+		}
+		cw.Flush()
+		raw = buf.String()
+	}
+	rel, err := qagview.ReadCSV(strings.NewReader(raw), req.Name, kinds)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "loading table: %v", err)
+		return
+	}
+	if err := s.db.register(rel); err != nil {
+		writeErr(w, http.StatusBadRequest, "registering table: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"table": req.Name,
+		"rows":  rel.NumRows(),
+		"cols":  rel.NumCols(),
+	})
+}
+
+func (s *Server) handleListTables(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"tables": s.db.tables()})
+}
+
+// ---- queries ----
+
+type queryRequest struct {
+	SQL string `json:"sql"`
+	// Limit bounds the rows echoed back (default 10; the full ranked result
+	// stays server-side — sessions re-run the query).
+	Limit int `json:"limit,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.SQL == "" {
+		writeErr(w, http.StatusBadRequest, "missing sql")
+		return
+	}
+	res, err := s.db.query(req.SQL)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "query failed: %v", err)
+		return
+	}
+	limit := req.Limit
+	if limit <= 0 {
+		limit = 10
+	}
+	if limit > res.N() {
+		limit = res.N()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"group_by": res.GroupBy,
+		"val_name": res.ValName,
+		"n":        res.N(),
+		"rows":     res.Rows[:limit],
+		"vals":     res.Vals[:limit],
+	})
+}
+
+// ---- sessions ----
+
+// maxSessionKMax caps a session's kmax: beyond this the precompute grid
+// (candidate pool c*kmax, per-D arrays) stops being an interactivity aid and
+// becomes a memory bomb a single request could throw.
+const maxSessionKMax = 4096
+
+type sessionRequest struct {
+	SQL  string `json:"sql"`
+	L    int    `json:"l"`
+	KMin int    `json:"kmin,omitempty"`
+	KMax int    `json:"kmax,omitempty"`
+	Ds   []int  `json:"ds,omitempty"`
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req sessionRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.SQL == "" {
+		writeErr(w, http.StatusBadRequest, "missing sql")
+		return
+	}
+	if req.L < 1 {
+		writeErr(w, http.StatusBadRequest, "l must be >= 1, got %d", req.L)
+		return
+	}
+	if req.KMin == 0 {
+		req.KMin = 1
+	}
+	if req.KMax == 0 {
+		req.KMax = 12
+	}
+	if len(req.Ds) == 0 {
+		req.Ds = []int{1, 2, 3}
+	}
+	if req.KMin < 1 || req.KMin > req.KMax {
+		writeErr(w, http.StatusBadRequest, "bad k range [%d, %d]", req.KMin, req.KMax)
+		return
+	}
+	// Bound the grid: kmax sizes the shared Fixed-Order pool and the per-D
+	// value arrays, so an absurd value must fail here, not OOM the
+	// background build.
+	if req.KMax > maxSessionKMax {
+		writeErr(w, http.StatusBadRequest, "kmax = %d exceeds the server limit %d", req.KMax, maxSessionKMax)
+		return
+	}
+	sess, reused, err := s.sessions.open(s.db, req.SQL, req.L, req.KMin, req.KMax, req.Ds)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "creating session: %v", err)
+		return
+	}
+	code := http.StatusCreated
+	if reused {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, s.sessionInfo(sess, reused))
+}
+
+func (s *Server) sessionInfo(sess *session, reused bool) map[string]any {
+	info := map[string]any{
+		"session":  sess.ID,
+		"l":        sess.L,
+		"kmin":     sess.KMin,
+		"kmax":     sess.KMax,
+		"ds":       sess.Ds,
+		"n":        sess.sum.N(),
+		"m":        sess.sum.M(),
+		"attrs":    sess.sum.Attrs(),
+		"clusters": sess.sum.NumClusters(),
+		"packed":   sess.sum.PackedKeys(),
+		"reused":   reused,
+	}
+	st, buildErr, ready := sess.storeIfReady()
+	info["store_ready"] = ready && buildErr == nil
+	if buildErr != nil {
+		info["store_error"] = buildErr.Error()
+	}
+	if st != nil {
+		info["store_bytes"] = st.SizeBytes()
+		info["store_intervals"] = st.StoredIntervals()
+		info["from_snapshot"] = sess.fromSnapshot
+		// Decoded stores report zero ReplayStats by design: the sweep ran in
+		// a previous process.
+		info["replay_stats"] = st.ReplayStats()
+	}
+	return info
+}
+
+func (s *Server) session(w http.ResponseWriter, r *http.Request) (*session, bool) {
+	id := r.PathValue("id")
+	sess, ok := s.sessions.get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown session %q (expired, evicted, or never created)", id)
+		return nil, false
+	}
+	return sess, true
+}
+
+func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sessionInfo(sess, true))
+}
+
+// ---- solutions ----
+
+// intParam parses a required integer query parameter.
+func intParam(w http.ResponseWriter, r *http.Request, name string) (int, bool) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		writeErr(w, http.StatusBadRequest, "missing query parameter %q", name)
+		return 0, false
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad query parameter %s=%q: %v", name, raw, err)
+		return 0, false
+	}
+	return v, true
+}
+
+// checkParams validates (k, d) against the session's precomputed grid.
+func checkParams(w http.ResponseWriter, sess *session, k, d int) bool {
+	if k < sess.KMin || k > sess.KMax {
+		writeErr(w, http.StatusBadRequest, "k = %d outside the session's range [%d, %d]", k, sess.KMin, sess.KMax)
+		return false
+	}
+	for _, have := range sess.Ds {
+		if have == d {
+			return true
+		}
+	}
+	writeErr(w, http.StatusBadRequest, "d = %d not in the session's precomputed set %v", d, sess.Ds)
+	return false
+}
+
+// solutionFor retrieves the (k, d) solution: from the precomputed store when
+// the background build has finished, otherwise from a live Hybrid run — the
+// store is an interactivity optimization, never a blocking dependency.
+func solutionFor(sess *session, k, d int) (*qagview.Solution, string, error) {
+	st, buildErr, ready := sess.storeIfReady()
+	if ready && buildErr == nil {
+		sol, err := st.Solution(k, d)
+		return sol, "store", err
+	}
+	sol, err := sess.sum.Summarize(qagview.Hybrid, qagview.Params{K: k, L: sess.L, D: d})
+	return sol, "live", err
+}
+
+type clusterJSON struct {
+	Pattern []string     `json:"pattern"`
+	Avg     float64      `json:"avg"`
+	Size    int          `json:"size"`
+	Members []memberJSON `json:"members,omitempty"`
+}
+
+type memberJSON struct {
+	Rank int      `json:"rank"`
+	Row  []string `json:"row"`
+	Val  float64  `json:"val"`
+}
+
+func renderSolution(sess *session, sol *qagview.Solution, expand bool) []clusterJSON {
+	rows := sess.sum.Rows(sol)
+	out := make([]clusterJSON, len(rows))
+	for i, row := range rows {
+		out[i] = clusterJSON{Pattern: row.Pattern, Avg: row.Avg, Size: row.Size}
+		if expand {
+			for _, m := range row.Members {
+				out[i].Members = append(out[i].Members, memberJSON{Rank: m.Rank, Row: m.Row, Val: m.Val})
+			}
+		}
+	}
+	return out
+}
+
+func (s *Server) handleSolution(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	k, ok := intParam(w, r, "k")
+	if !ok {
+		return
+	}
+	d, ok := intParam(w, r, "d")
+	if !ok {
+		return
+	}
+	if !checkParams(w, sess, k, d) {
+		return
+	}
+	sol, source, err := solutionFor(sess, k, d)
+	if err != nil {
+		// In-range parameters the sweep has no solution for (k below the
+		// smallest size the merge reached for this D).
+		writeErr(w, http.StatusUnprocessableEntity, "no solution for k=%d, d=%d: %v", k, d, err)
+		return
+	}
+	expand := r.URL.Query().Get("expand") == "1"
+	writeJSON(w, http.StatusOK, map[string]any{
+		"session":   sess.ID,
+		"k":         k,
+		"d":         d,
+		"source":    source,
+		"objective": sol.AvgValue(),
+		"covered":   len(sol.Covered),
+		"clusters":  renderSolution(sess, sol, expand),
+	})
+}
+
+func (s *Server) handleGuidance(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	st, buildErr, ready := sess.storeIfReady()
+	if !ready {
+		writeErr(w, http.StatusConflict, "guidance needs the precomputed store; the background build is still running")
+		return
+	}
+	if buildErr != nil {
+		writeErr(w, http.StatusInternalServerError, "store build failed: %v", buildErr)
+		return
+	}
+	g := st.Guidance()
+	series := make(map[string][]float64, len(g.Series))
+	for d, vals := range g.Series {
+		series[strconv.Itoa(d)] = vals
+	}
+	minSizes := make(map[string]int, len(g.MinSizes))
+	for d, ms := range g.MinSizes {
+		minSizes[strconv.Itoa(d)] = ms
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"session":   sess.ID,
+		"kmin":      g.KMin,
+		"kmax":      g.KMax,
+		"series":    series,
+		"min_sizes": minSizes,
+	})
+}
+
+// ---- diffs ----
+
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	params := make([]int, 4)
+	for i, name := range []string{"k1", "d1", "k2", "d2"} {
+		v, ok := intParam(w, r, name)
+		if !ok {
+			return
+		}
+		params[i] = v
+	}
+	k1, d1, k2, d2 := params[0], params[1], params[2], params[3]
+	if !checkParams(w, sess, k1, d1) || !checkParams(w, sess, k2, d2) {
+		return
+	}
+	prev, prevSrc, err := solutionFor(sess, k1, d1)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "no solution for k1=%d, d1=%d: %v", k1, d1, err)
+		return
+	}
+	next, nextSrc, err := solutionFor(sess, k2, d2)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "no solution for k2=%d, d2=%d: %v", k2, d2, err)
+		return
+	}
+	diff, err := sess.sum.Compare(prev, next)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "diff failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"session":   sess.ID,
+		"from":      map[string]any{"k": k1, "d": d1, "source": prevSrc},
+		"to":        map[string]any{"k": k2, "d": d2, "source": nextSrc},
+		"left":      renderSolution(sess, prev, false),
+		"right":     renderSolution(sess, next, false),
+		"overlap":   diff.M,
+		"left_top":  diff.LeftTop,
+		"right_top": diff.RightTop,
+	})
+}

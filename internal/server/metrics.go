@@ -1,0 +1,118 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// latencySampleCap bounds the per-route latency reservoir: quantiles are
+// computed over the most recent samples in a fixed ring, so /metrics stays
+// O(1) memory under sustained traffic.
+const latencySampleCap = 2048
+
+// metrics aggregates per-route request counters and latency samples. All
+// methods are goroutine-safe.
+type metrics struct {
+	mu     sync.Mutex
+	start  time.Time
+	routes map[string]*routeMetrics
+}
+
+type routeMetrics struct {
+	count   int64
+	byCode  map[int]int64
+	samples []float64 // milliseconds, ring buffer
+	next    int
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), routes: make(map[string]*routeMetrics)}
+}
+
+func (m *metrics) observe(route string, code int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rm := m.routes[route]
+	if rm == nil {
+		rm = &routeMetrics{
+			byCode:  make(map[int]int64),
+			samples: make([]float64, 0, 64),
+		}
+		m.routes[route] = rm
+	}
+	rm.count++
+	rm.byCode[code]++
+	ms := float64(d) / float64(time.Millisecond)
+	if len(rm.samples) < latencySampleCap {
+		rm.samples = append(rm.samples, ms)
+	} else {
+		rm.samples[rm.next] = ms
+	}
+	rm.next = (rm.next + 1) % latencySampleCap
+}
+
+// RouteStats is one route's aggregate in the /metrics report.
+type RouteStats struct {
+	Count  int64            `json:"count"`
+	ByCode map[string]int64 `json:"by_code"`
+	P50Ms  float64          `json:"p50_ms"`
+	P99Ms  float64          `json:"p99_ms"`
+}
+
+func (m *metrics) snapshot() (uptime time.Duration, routes map[string]RouteStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	routes = make(map[string]RouteStats, len(m.routes))
+	for name, rm := range m.routes {
+		rs := RouteStats{Count: rm.count, ByCode: make(map[string]int64, len(rm.byCode))}
+		for code, n := range rm.byCode {
+			rs.ByCode[strconv.Itoa(code)] = n
+		}
+		sorted := append([]float64(nil), rm.samples...)
+		sort.Float64s(sorted)
+		rs.P50Ms = quantile(sorted, 0.50)
+		rs.P99Ms = quantile(sorted, 0.99)
+		routes[name] = rs
+	}
+	return time.Since(m.start), routes
+}
+
+// quantile reads q from an ascending sample list (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// statusWriter captures the response code for the metrics middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting and latency sampling
+// under the given route label.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		t0 := time.Now()
+		h(sw, r)
+		s.metrics.observe(route, sw.code, time.Since(t0))
+	}
+}

@@ -1,0 +1,146 @@
+// Package server implements qagviewd: an HTTP/JSON service hosting
+// concurrent interactive-exploration sessions over the qagview engine — the
+// serving face of the paper's system (Section 7.1's client/server split).
+//
+// A session is a (query, L) Summarizer plus a (k, D) precompute Store. The
+// store builds lazily in one background goroutine per session; solution and
+// diff reads fall back to live summarization until it is ready, so no read
+// path ever blocks on a build. Sessions live in a byte-accounted LRU;
+// evicting one cancels its in-flight sweep through the context threaded
+// into Precompute. Identical concurrent session requests are deduplicated
+// with a singleflight group, and finished stores are snapshotted with
+// Store.Encode so a warm restart decodes instead of re-sweeping.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	"qagview"
+)
+
+// Config sizes the server.
+type Config struct {
+	// MaxSessions caps the number of live sessions (LRU-evicted beyond it).
+	// 0 means the default of 64.
+	MaxSessions int
+	// MaxCacheBytes caps the summed approximate bytes of live sessions
+	// (summarizer + store). 0 means the default of 256 MiB; negative means
+	// unlimited.
+	MaxCacheBytes int64
+	// SnapshotDir, when non-empty, persists finished precompute stores so
+	// warm restarts skip the sweep. The directory must exist.
+	SnapshotDir string
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 64
+	}
+	switch {
+	case c.MaxCacheBytes == 0:
+		c.MaxCacheBytes = 256 << 20
+	case c.MaxCacheBytes < 0:
+		c.MaxCacheBytes = 0 // lruCache treats 0 as unlimited
+	}
+	return c
+}
+
+// db wraps qagview.DB with the lock the HTTP surface needs: table loads
+// write the catalog while queries read it.
+type db struct {
+	mu sync.RWMutex
+	db *qagview.DB
+}
+
+func (d *db) register(r *qagview.Relation) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.db.Register(r)
+}
+
+func (d *db) query(sql string) (*qagview.Result, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.db.Query(sql)
+}
+
+func (d *db) tables() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.db.Tables()
+}
+
+// Server is the qagviewd HTTP service.
+type Server struct {
+	cfg      Config
+	db       *db
+	sessions *sessionManager
+	metrics  *metrics
+	mux      *http.ServeMux
+}
+
+// New returns a server with an empty catalog.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		db:       &db{db: qagview.NewDB()},
+		sessions: newSessionManager(cfg.MaxSessions, cfg.MaxCacheBytes, cfg.SnapshotDir),
+		metrics:  newMetrics(),
+	}
+	s.mux = http.NewServeMux()
+	route := func(pattern, label string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, s.instrument(label, h))
+	}
+	route("POST /v1/tables", "POST /v1/tables", s.handleCreateTable)
+	route("GET /v1/tables", "GET /v1/tables", s.handleListTables)
+	route("POST /v1/queries", "POST /v1/queries", s.handleQuery)
+	route("POST /v1/sessions", "POST /v1/sessions", s.handleCreateSession)
+	route("GET /v1/sessions/{id}", "GET /v1/sessions/{id}", s.handleSessionInfo)
+	route("GET /v1/sessions/{id}/solution", "GET /v1/sessions/{id}/solution", s.handleSolution)
+	route("GET /v1/sessions/{id}/guidance", "GET /v1/sessions/{id}/guidance", s.handleGuidance)
+	route("GET /v1/sessions/{id}/diff", "GET /v1/sessions/{id}/diff", s.handleDiff)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP surface, ready to mount on an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Register preloads a relation into the catalog (sample datasets; tests).
+func (s *Server) Register(r *qagview.Relation) error { return s.db.register(r) }
+
+// Close cancels all background session work. In-flight requests finish.
+func (s *Server) Close() { s.sessions.close() }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	uptime, _ := s.metrics.snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": uptime.Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	uptime, routes := s.metrics.snapshot()
+	entries, bytes, stats := s.sessions.occupancy()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds": uptime.Seconds(),
+		"requests":       routes,
+		"sessions": map[string]any{
+			"live":        entries,
+			"bytes":       bytes,
+			"max_entries": s.cfg.MaxSessions,
+			"max_bytes":   s.cfg.MaxCacheBytes,
+			"events":      stats,
+		},
+	})
+}
+
+// String renders the bind hint for logs.
+func (s *Server) String() string {
+	return fmt.Sprintf("qagviewd{sessions<=%d, bytes<=%d}", s.cfg.MaxSessions, s.cfg.MaxCacheBytes)
+}

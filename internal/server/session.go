@@ -1,0 +1,338 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"qagview"
+)
+
+// session is one live exploration context: a Summarizer for (query, L) plus
+// a lazily built precompute Store over its (k, D) grid. The summarizer and
+// the immutable fields are safe for concurrent reads; the store is published
+// exactly once, before ready closes.
+type session struct {
+	ID         string
+	SQL        string
+	L          int
+	KMin, KMax int
+	Ds         []int
+
+	sum *qagview.Summarizer
+	// dataFP fingerprints the query result the summarizer was built from;
+	// snapshot files carry it so a warm restart over changed table data
+	// re-sweeps instead of serving stale solutions.
+	dataFP string
+
+	// ready closes when the background build finishes (store or buildErr
+	// set). Readers that find it open fall back to live summarization, so no
+	// read ever blocks on a build — this session's or another's.
+	ready        chan struct{}
+	store        *qagview.Store
+	buildErr     error
+	fromSnapshot bool
+
+	cancel  context.CancelFunc
+	created time.Time
+}
+
+// storeIfReady returns the precomputed store without blocking: (nil, nil,
+// false) while the background build is still running.
+func (s *session) storeIfReady() (*qagview.Store, error, bool) {
+	select {
+	case <-s.ready:
+		return s.store, s.buildErr, true
+	default:
+		return nil, nil, false
+	}
+}
+
+// sessionKey derives the dedupe key of a session request: identical
+// (query, L, grid) tuples map to the same session.
+func sessionKey(sql string, l, kMin, kMax int, ds []int) string {
+	sorted := append([]int(nil), ds...)
+	sort.Ints(sorted)
+	var sb strings.Builder
+	sb.WriteString(sql)
+	fmt.Fprintf(&sb, "|L=%d|k=[%d,%d]|ds=", l, kMin, kMax)
+	for _, d := range sorted {
+		sb.WriteString(strconv.Itoa(d))
+		sb.WriteByte(',')
+	}
+	sum := sha256.Sum256([]byte(sb.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// resultFingerprint hashes the ranked answer set (attributes, rows, exact
+// value bits) a session is built from.
+func resultFingerprint(res *qagview.Result) string {
+	h := sha256.New()
+	for _, a := range res.GroupBy {
+		h.Write([]byte(a))
+		h.Write([]byte{0})
+	}
+	for i, row := range res.Rows {
+		for _, cell := range row {
+			h.Write([]byte(cell))
+			h.Write([]byte{0})
+		}
+		var bits [8]byte
+		binary.LittleEndian.PutUint64(bits[:], math.Float64bits(res.Vals[i]))
+		h.Write(bits[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// managerStats counts session-manager events for /metrics.
+type managerStats struct {
+	Builds        int64 `json:"builds"`
+	BuildErrors   int64 `json:"build_errors"`
+	Deduped       int64 `json:"deduped"`
+	Evictions     int64 `json:"evictions"`
+	SnapshotLoads int64 `json:"snapshot_loads"`
+	SnapshotSaves int64 `json:"snapshot_saves"`
+}
+
+// sessionManager owns the LRU of live sessions. Summarizer construction is
+// deduplicated through a singleflight group; precompute stores build in one
+// background goroutine per session, cancelled on eviction via the context
+// threaded into Precompute.
+type sessionManager struct {
+	mu    sync.Mutex
+	cache *lruCache // session id -> *session
+	stats managerStats
+
+	flight      flightGroup
+	snapshotDir string
+}
+
+func newSessionManager(maxSessions int, maxBytes int64, snapshotDir string) *sessionManager {
+	m := &sessionManager{snapshotDir: snapshotDir}
+	m.cache = newLRUCache(maxSessions, maxBytes, func(_ string, v any) {
+		// Runs under m.mu (all cache mutations do). Cancelling an in-flight
+		// build makes Precompute return ctx.Err() at its next per-D check.
+		m.stats.Evictions++
+		v.(*session).cancel()
+	})
+	return m
+}
+
+// get returns the live session with the given id, refreshing its LRU slot.
+func (m *sessionManager) get(id string) (*session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.cache.Get(id)
+	if !ok {
+		return nil, false
+	}
+	return v.(*session), true
+}
+
+// open returns the live session for (sql, L, grid), building it if needed.
+// Concurrent identical requests share one build; reused reports whether the
+// caller got a session someone else created (live cache hit or singleflight
+// duplicate).
+func (m *sessionManager) open(db *db, sql string, l, kMin, kMax int, ds []int) (sess *session, reused bool, err error) {
+	key := sessionKey(sql, l, kMin, kMax, ds)
+	id := "s-" + key[:16]
+	if s, ok := m.get(id); ok {
+		return s, true, nil
+	}
+	v, err, shared := m.flight.Do(key, func() (any, error) {
+		// A duplicate that lost the fast-path race may still find the
+		// session built by the previous flight owner.
+		if s, ok := m.get(id); ok {
+			return s, nil
+		}
+		return m.build(db, id, sql, l, kMin, kMax, ds)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if shared {
+		m.mu.Lock()
+		m.stats.Deduped++
+		m.mu.Unlock()
+	}
+	return v.(*session), shared, nil
+}
+
+// build runs the expensive synchronous part of session creation (query +
+// cluster-space construction), registers the session, and kicks off the
+// background store build. Callers hold the singleflight slot for key, so at
+// most one build per key runs at a time.
+func (m *sessionManager) build(db *db, id, sql string, l, kMin, kMax int, ds []int) (*session, error) {
+	res, err := db.query(sql)
+	if err != nil {
+		return nil, err
+	}
+	if res.N() == 0 {
+		return nil, fmt.Errorf("query returned no groups")
+	}
+	if l > res.N() {
+		return nil, fmt.Errorf("l = %d exceeds the %d result groups", l, res.N())
+	}
+	sum, err := qagview.NewSummarizer(res, l)
+	if err != nil {
+		return nil, err
+	}
+	// Validate the (k, D) grid now, while the client is still listening:
+	// these would otherwise surface only as a background build error.
+	seen := make(map[int]bool, len(ds))
+	for _, d := range ds {
+		if d < 0 || d > sum.M() {
+			return nil, fmt.Errorf("d = %d out of range [0, %d]", d, sum.M())
+		}
+		if seen[d] {
+			return nil, fmt.Errorf("duplicate D = %d", d)
+		}
+		seen[d] = true
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &session{
+		ID: id, SQL: sql, L: l, KMin: kMin, KMax: kMax,
+		Ds:      append([]int(nil), ds...),
+		sum:     sum,
+		dataFP:  resultFingerprint(res),
+		ready:   make(chan struct{}),
+		cancel:  cancel,
+		created: time.Now(),
+	}
+	sort.Ints(s.Ds)
+	m.mu.Lock()
+	m.stats.Builds++
+	m.cache.Add(id, s, sum.ApproxBytes())
+	m.mu.Unlock()
+	go m.buildStore(ctx, s)
+	return s, nil
+}
+
+// buildStore materializes the session's precompute store in the background:
+// from a snapshot when one exists for this session key (warm restart, no
+// sweep), otherwise by running the cancellable sweep and snapshotting the
+// result for the next restart.
+func (m *sessionManager) buildStore(ctx context.Context, s *session) {
+	defer close(s.ready)
+	// A panic here would kill the whole process (background goroutine), so
+	// degrade to a build error: the session keeps serving via the live path.
+	defer func() {
+		if r := recover(); r != nil {
+			s.buildErr = fmt.Errorf("store build panicked: %v", r)
+			m.mu.Lock()
+			m.stats.BuildErrors++
+			m.mu.Unlock()
+		}
+	}()
+	if st, ok := m.loadSnapshot(s); ok {
+		s.store, s.fromSnapshot = st, true
+		m.resize(s)
+		return
+	}
+	st, err := s.sum.Precompute(s.KMin, s.KMax, s.Ds, qagview.WithPrecomputeContext(ctx))
+	if err != nil {
+		s.buildErr = err
+		if !errors.Is(err, context.Canceled) {
+			// Cancellation is routine eviction cleanup (already counted in
+			// Evictions), not a failure signal.
+			m.mu.Lock()
+			m.stats.BuildErrors++
+			m.mu.Unlock()
+		}
+		return
+	}
+	s.store = st
+	m.resize(s)
+	m.saveSnapshot(s, st)
+}
+
+// resize re-accounts the session's cache cost once its store exists.
+func (m *sessionManager) resize(s *session) {
+	m.mu.Lock()
+	m.cache.Resize(s.ID, s.sum.ApproxBytes()+s.store.SizeBytes())
+	m.mu.Unlock()
+}
+
+func (m *sessionManager) snapshotPath(s *session) string {
+	return filepath.Join(m.snapshotDir, s.ID+"-"+s.dataFP+".store")
+}
+
+func (m *sessionManager) loadSnapshot(s *session) (*qagview.Store, bool) {
+	if m.snapshotDir == "" {
+		return nil, false
+	}
+	f, err := os.Open(m.snapshotPath(s))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	st, err := s.sum.DecodeStore(f)
+	if err != nil {
+		// Stale or foreign snapshot (e.g. the table changed under the same
+		// query text): fall back to a fresh sweep, which overwrites it.
+		return nil, false
+	}
+	if st.KMin != s.KMin || st.KMax != s.KMax || len(st.Ds) != len(s.Ds) {
+		return nil, false
+	}
+	for i, d := range st.Ds {
+		if s.Ds[i] != d {
+			return nil, false
+		}
+	}
+	m.mu.Lock()
+	m.stats.SnapshotLoads++
+	m.mu.Unlock()
+	return st, true
+}
+
+func (m *sessionManager) saveSnapshot(s *session, st *qagview.Store) {
+	if m.snapshotDir == "" {
+		return
+	}
+	tmp, err := os.CreateTemp(m.snapshotDir, s.ID+".tmp*")
+	if err != nil {
+		return
+	}
+	defer os.Remove(tmp.Name())
+	if err := st.Encode(tmp); err != nil {
+		tmp.Close()
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		return
+	}
+	if err := os.Rename(tmp.Name(), m.snapshotPath(s)); err != nil {
+		return
+	}
+	m.mu.Lock()
+	m.stats.SnapshotSaves++
+	m.mu.Unlock()
+}
+
+// occupancy reports the cache gauges for /metrics.
+func (m *sessionManager) occupancy() (entries int, bytes int64, stats managerStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cache.Len(), m.cache.Bytes(), m.stats
+}
+
+// close cancels every live session's background work.
+func (m *sessionManager) close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.cache.Len() > 0 {
+		m.cache.removeElement(m.cache.ll.Back())
+	}
+}

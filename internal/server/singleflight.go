@@ -1,0 +1,45 @@
+package server
+
+import "sync"
+
+// flightGroup is a minimal singleflight: concurrent Do calls that share a
+// key share one execution of fn. Session creation uses it so a burst of
+// identical (query, L, grid) requests builds one Summarizer, not one per
+// caller.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+	dups int // callers sharing this result, for tests and metrics
+}
+
+// Do executes fn once per in-flight key; duplicate callers block until the
+// owner finishes and receive its result. shared reports whether the caller
+// received another call's result instead of running fn itself.
+func (g *flightGroup) Do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		c.dups++
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# e2e_smoke.sh — build qagviewd, start it against the MovieLens sample, and
+# drive the session / solution / diff endpoints end to end, asserting 200s
+# and a non-empty solution. CI runs this as the e2e job; locally:
+#
+#     ./scripts/e2e_smoke.sh [port]
+set -euo pipefail
+
+PORT="${1:-8093}"
+BASE="http://127.0.0.1:${PORT}"
+SQL='SELECT hdec, agegrp, gender, avg(rating) AS val FROM RatingTable GROUP BY hdec, agegrp, gender HAVING count(*) > 50 ORDER BY val DESC'
+
+cd "$(dirname "$0")/.."
+
+echo "== building qagviewd"
+go build -o /tmp/qagviewd ./cmd/qagviewd
+
+echo "== starting qagviewd on :${PORT} (MovieLens sample, 20k ratings)"
+/tmp/qagviewd -addr "127.0.0.1:${PORT}" -sample movielens -sample-ratings 20000 &
+SERVER_PID=$!
+trap 'kill "${SERVER_PID}" 2>/dev/null || true' EXIT
+
+fail() { echo "e2e: FAIL — $*" >&2; exit 1; }
+
+# curl wrapper: ck <expected-code> <outfile> <curl args...>
+ck() {
+  local want="$1" out="$2"; shift 2
+  local code
+  code=$(curl -sS -o "$out" -w '%{http_code}' "$@") || fail "curl $* did not complete"
+  [ "$code" = "$want" ] || { cat "$out" >&2; fail "$* returned HTTP $code, want $want"; }
+}
+
+echo "== waiting for /healthz"
+for i in $(seq 1 100); do
+  if curl -fsS "${BASE}/healthz" >/dev/null 2>&1; then break; fi
+  [ "$i" = 100 ] && fail "server did not become healthy"
+  sleep 0.2
+done
+
+OUT=$(mktemp -d)
+
+echo "== POST /v1/queries"
+ck 200 "$OUT/query.json" -X POST "${BASE}/v1/queries" \
+  -H 'Content-Type: application/json' \
+  -d "{\"sql\": \"${SQL}\", \"limit\": 3}"
+grep -q '"n"' "$OUT/query.json" || fail "query response has no result count"
+
+echo "== POST /v1/sessions"
+ck 201 "$OUT/session.json" -X POST "${BASE}/v1/sessions" \
+  -H 'Content-Type: application/json' \
+  -d "{\"sql\": \"${SQL}\", \"l\": 8, \"kmin\": 1, \"kmax\": 6, \"ds\": [1, 2]}"
+SESSION=$(sed -n 's/.*"session": "\([^"]*\)".*/\1/p' "$OUT/session.json" | head -1)
+[ -n "$SESSION" ] || { cat "$OUT/session.json" >&2; fail "no session id in response"; }
+echo "   session: ${SESSION}"
+
+echo "== GET solution (k=3, d=1)"
+ck 200 "$OUT/solution.json" "${BASE}/v1/sessions/${SESSION}/solution?k=3&d=1"
+grep -q '"pattern"' "$OUT/solution.json" || { cat "$OUT/solution.json" >&2; fail "solution has no clusters"; }
+grep -q '"size": 0' "$OUT/solution.json" && fail "solution contains an empty cluster"
+
+echo "== GET diff (k=2 -> k=3)"
+ck 200 "$OUT/diff.json" "${BASE}/v1/sessions/${SESSION}/diff?k1=2&d1=1&k2=3&d2=1"
+grep -q '"overlap"' "$OUT/diff.json" || { cat "$OUT/diff.json" >&2; fail "diff has no overlap matrix"; }
+
+echo "== error paths stay errors"
+ck 404 "$OUT/err404.json" "${BASE}/v1/sessions/s-nope/solution?k=1&d=1"
+ck 400 "$OUT/err400.json" "${BASE}/v1/sessions/${SESSION}/solution?k=abc&d=1"
+
+echo "== GET /metrics"
+ck 200 "$OUT/metrics.json" "${BASE}/metrics"
+grep -q '"live": 1' "$OUT/metrics.json" || { cat "$OUT/metrics.json" >&2; fail "metrics do not report the live session"; }
+
+echo "e2e: OK"
