@@ -314,6 +314,62 @@ func BenchmarkBuildIndexMovieLens(b *testing.B) {
 	}
 }
 
+// BenchmarkApplyDelta measures incremental cluster-space maintenance
+// against the full rebuild it replaces, on the MovieLens space (m=8,
+// N≈2087, L=500): a batch of answer-tuple appends ranking below the top L
+// (the common live-table case) is absorbed by Index.ApplyDelta — probing
+// only the appended tuples and splicing the coverage arena — versus
+// NewSpace + BuildIndex from scratch. Output is bit-identical either way
+// (see lattice's delta equivalence tests); single-row batches should be
+// well over an order of magnitude faster incrementally.
+func BenchmarkApplyDelta(b *testing.B) {
+	s := getState(b)
+	L := 500
+	if s.space.N() < L {
+		L = s.space.N()
+	}
+	base, err := lattice.BuildIndex(s.space, L)
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseRows := make([][]string, s.space.N())
+	for i, tup := range s.space.Tuples {
+		baseRows[i] = s.space.Render(tup)
+	}
+	low := s.space.Vals[L-1] - 1
+	rng := rand.New(rand.NewSource(11))
+	for _, batch := range []int{1, 64, 4096} {
+		d := lattice.Delta{
+			AppendRows: make([][]string, batch),
+			AppendVals: make([]float64, batch),
+		}
+		for i := 0; i < batch; i++ {
+			d.AppendRows[i] = baseRows[rng.Intn(len(baseRows))]
+			d.AppendVals[i] = low - rng.Float64()
+		}
+		combinedRows := append(append([][]string(nil), baseRows...), d.AppendRows...)
+		combinedVals := append(append([]float64(nil), s.space.Vals...), d.AppendVals...)
+		b.Run(label("batch", batch)+"/incremental", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := base.ApplyDelta(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(label("batch", batch)+"/rebuild", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sp, err := lattice.NewSpace(s.space.Attrs, combinedRows, combinedVals)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := lattice.BuildIndex(sp, L); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFig8Delta compares Hybrid with and without Delta-Judgment at
 // L=500, k=20, D=2 (Figure 8b).
 func BenchmarkFig8Delta(b *testing.B) {

@@ -4,12 +4,20 @@
 // of the paper's interactive mode (Section 6), sized for many concurrent
 // users by the session LRU and background precompute.
 //
+// Tables are live: POST /v1/tables/{id}/rows appends rows and bumps the
+// table's data generation, and stale sessions refresh lazily on their next
+// read through the incremental-maintenance subsystem (internal/delta) —
+// delta-maintained cluster index, warm-started sweeps, generation-stamped
+// stores — instead of rebuilding. Every session response carries the
+// data_version it reflects; DELETE /v1/sessions/{id} evicts explicitly.
+//
 // Usage examples:
 //
 //	qagviewd -addr :8080 -sample movielens
 //	qagviewd -addr :8080 -snapshots /var/lib/qagviewd -max-sessions 128 -max-mb 512
 //
-// See README.md ("Serving") for the endpoint table and a curl walkthrough.
+// See README.md ("Serving", "Live tables") for the endpoint table and curl
+// walkthroughs.
 package main
 
 import (

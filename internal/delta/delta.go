@@ -1,0 +1,111 @@
+// Package delta is the incremental-maintenance subsystem for live tables:
+// it keeps a materialized exploration context — cluster index, warm sweeper,
+// precomputed (k, D) stores — consistent with an answer set that changes
+// under it, without rebuilding from scratch.
+//
+// The paper's interactive loop assumes a frozen answer set; a production
+// service does not get that luxury. This package tracks how every derived
+// layer depends on the base tuples and propagates batched appends and
+// deletes through them: Diff matches a re-ranked query result against the
+// current space to find what actually changed, Maintainer applies the delta
+// through lattice.Index.Rebase (copy-on-write, bit-identical to a rebuild),
+// warm-starts the next summarization sweeper from the previous one
+// (summarize.Sweeper.Warm), and stamps every precomputed store with a
+// monotonically increasing data generation so serving layers can tell fresh
+// sweeps from superseded ones.
+package delta
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"qagview/internal/lattice"
+)
+
+// Diff matches a replacement answer set (rows with values, any order)
+// against the current space, producing the origin mapping Rebase consumes:
+// origin[i] is the index of the current tuple that row i carries over
+// unchanged, or -1 for a new row. Current tuples not named by origin are
+// deletions. Matching is by rendered row and exact value bits, multiset-
+// style: duplicate (row, value) pairs match in rank order, which preserves
+// their relative order through a rebase. changed reports whether the new set
+// differs from the current one at all (any append, delete, or reorder).
+func Diff(s *lattice.Space, rows [][]string, vals []float64) (origin []int32, changed bool, err error) {
+	if len(rows) != len(vals) {
+		return nil, false, fmt.Errorf("delta: %d rows but %d values", len(rows), len(vals))
+	}
+	m := s.M()
+	var sb strings.Builder
+	var bits [8]byte
+	keyOf := func(row []string, val float64) string {
+		sb.Reset()
+		for _, v := range row {
+			sb.WriteString(v)
+			sb.WriteByte(0)
+		}
+		binary.LittleEndian.PutUint64(bits[:], math.Float64bits(val))
+		sb.Write(bits[:])
+		return sb.String()
+	}
+	current := make(map[string][]int32, s.N())
+	for i, t := range s.Tuples {
+		k := keyOf(s.Render(t), s.Vals[i])
+		current[k] = append(current[k], int32(i))
+	}
+	origin = make([]int32, len(rows))
+	matched := 0
+	for i, row := range rows {
+		if len(row) != m {
+			return nil, false, fmt.Errorf("delta: row %d has %d attributes, want %d", i, len(row), m)
+		}
+		k := keyOf(row, vals[i])
+		if q := current[k]; len(q) > 0 {
+			origin[i] = q[0]
+			current[k] = q[1:]
+			matched++
+		} else {
+			origin[i] = -1
+		}
+	}
+	changed = matched != s.N() || matched != len(rows)
+	if !changed {
+		for i, o := range origin {
+			if o != int32(i) {
+				changed = true // same multiset, reordered ranking
+				break
+			}
+		}
+	}
+	return origin, changed, nil
+}
+
+// sortResult orders (rows, vals) by descending value, stable — the ranking
+// lattice.NewSpace derives and Rebase requires — returning fresh slices when
+// a reorder was needed and the inputs unchanged otherwise.
+func sortResult(rows [][]string, vals []float64) ([][]string, []float64) {
+	sorted := true
+	for i := 1; i < len(vals); i++ {
+		if vals[i] > vals[i-1] {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return rows, vals
+	}
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+	outRows := make([][]string, len(rows))
+	outVals := make([]float64, len(vals))
+	for out, in := range idx {
+		outRows[out] = rows[in]
+		outVals[out] = vals[in]
+	}
+	return outRows, outVals
+}

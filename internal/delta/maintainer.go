@@ -1,0 +1,117 @@
+package delta
+
+import (
+	"fmt"
+
+	"qagview/internal/lattice"
+	"qagview/internal/precompute"
+	"qagview/internal/summarize"
+)
+
+// Maintainer owns the mutable spine of one live exploration context: the
+// current cluster index, the warm sweeper chained across data generations,
+// and the monotonically increasing generation counter that versions both.
+//
+// A Maintainer is single-writer: Refresh, Apply, and Precompute must be
+// serialized by the caller (serving layers do this with a per-session
+// refresh lock), and an in-flight Precompute must have returned — after its
+// context was cancelled, if need be — before the next Refresh runs, because
+// warming the sweeper migrates the replay states that sweep is using.
+// Indexes published through Index() are immutable snapshots and may be read
+// concurrently with anything.
+type Maintainer struct {
+	gen     uint64
+	ix      *lattice.Index
+	sw      *summarize.Sweeper
+	sumOpts []summarize.Option
+}
+
+// New wraps an already built index at generation 1. Summarize options are
+// applied to every sweeper the maintainer constructs (the warm chain carries
+// them forward automatically).
+func New(ix *lattice.Index, sumOpts ...summarize.Option) *Maintainer {
+	return &Maintainer{gen: 1, ix: ix, sumOpts: sumOpts}
+}
+
+// Generation returns the current data generation: 1 for the freshly built
+// index, bumped by every refresh that changed anything.
+func (m *Maintainer) Generation() uint64 { return m.gen }
+
+// Index returns the current-generation index (an immutable snapshot).
+func (m *Maintainer) Index() *lattice.Index { return m.ix }
+
+// Refresh reconciles the maintainer with a re-run query result: the rows are
+// ranked (stable by descending value, as NewSpace would), diffed against the
+// current space, and — when anything changed — applied through the
+// incremental Rebase, warming the sweeper onto the new index and bumping the
+// generation. changed is false (and the generation unchanged) when the
+// result is identical to the current answer set.
+func (m *Maintainer) Refresh(rows [][]string, vals []float64) (stats lattice.DeltaStats, changed bool, err error) {
+	rows, vals = sortResult(rows, vals)
+	origin, changed, err := Diff(m.ix.Space, rows, vals)
+	if err != nil {
+		return stats, false, err
+	}
+	if !changed {
+		return stats, false, nil
+	}
+	nix, stats, err := m.ix.Rebase(rows, vals, origin)
+	if err != nil {
+		return stats, false, err
+	}
+	m.install(nix, stats)
+	return stats, true, nil
+}
+
+// Apply applies a prebuilt batch of appends and deletes (callers that know
+// their delta exactly, without re-running a query). Empty batches are
+// no-ops.
+func (m *Maintainer) Apply(d lattice.Delta) (lattice.DeltaStats, error) {
+	if d.Empty() {
+		return lattice.DeltaStats{FastPath: true}, nil
+	}
+	nix, stats, err := m.ix.ApplyDelta(d)
+	if err != nil {
+		return stats, err
+	}
+	m.install(nix, stats)
+	return stats, nil
+}
+
+// install publishes the successor index, warms the sweeper chain onto it,
+// and bumps the generation.
+func (m *Maintainer) install(nix *lattice.Index, stats lattice.DeltaStats) {
+	if m.sw != nil {
+		if sw, err := m.sw.Warm(nix, stats.FastPath); err == nil {
+			m.sw = sw
+		} else {
+			// A failed warm leaves the old sweeper's state half-migrated;
+			// drop it and let the next Precompute cold-start.
+			m.sw = nil
+		}
+	}
+	m.ix = nix
+	m.gen++
+}
+
+// Precompute builds a (k, D) store over the current index, stamped with the
+// current generation. The underlying sweeper is created on first use and
+// warm-started across generations after that; a kMax beyond what the chain
+// was provisioned for re-provisions it cold. Precompute options (context,
+// parallelism) pass through; the generation stamp is set by the maintainer.
+func (m *Maintainer) Precompute(kMin, kMax int, ds []int, opts ...precompute.Option) (*precompute.Store, error) {
+	if kMax < 1 {
+		return nil, fmt.Errorf("delta: kMax = %d, want >= 1", kMax)
+	}
+	if m.sw == nil || m.sw.KMax() < kMax {
+		sw, err := summarize.NewSweeper(m.ix, m.ix.L, kMax, m.sumOpts...)
+		if err != nil {
+			return nil, err
+		}
+		m.sw = sw
+	}
+	// The maintainer's stamp goes first so an explicit caller-provided
+	// WithGeneration (a serving layer with its own version numbering) wins.
+	opts = append([]precompute.Option{precompute.WithGeneration(m.gen)}, opts...)
+	return precompute.RunSweeper(m.sw, kMin, kMax, ds, opts...)
+}

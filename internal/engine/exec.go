@@ -17,6 +17,9 @@ type Result struct {
 	GroupBy []string
 	// ValName is the alias of the aggregate output column.
 	ValName string
+	// Table is the FROM relation the query ran against; serving layers use
+	// it to tie sessions to the table whose updates invalidate them.
+	Table string
 	// Rows holds one rendered group-by tuple per output row.
 	Rows [][]string
 	// Vals holds the aggregate value per output row, aligned with Rows.
@@ -192,7 +195,7 @@ func executeOn(rel *relation.Relation, q *Query) (*Result, error) {
 	}
 
 	// HAVING filter and final value.
-	res := &Result{GroupBy: append([]string(nil), q.GroupBy...), ValName: q.Agg.Alias}
+	res := &Result{GroupBy: append([]string(nil), q.GroupBy...), ValName: q.Agg.Alias, Table: q.Table}
 	for _, key := range order {
 		st := groups[key]
 		keep := true

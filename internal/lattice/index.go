@@ -73,6 +73,11 @@ type Index struct {
 
 	singleton []int32 // rank -> cluster id of the concrete pattern, for ranks < L
 	allStar   int32
+
+	// sliceForced records that WithSliceKeys forced the fallback even though
+	// the packed widths may fit, so incremental rebuilds (Rebase) stay on the
+	// representation the index was built with.
+	sliceForced bool
 }
 
 // BuildStats reports the work done while building an index, for the
@@ -180,25 +185,24 @@ type mapShard struct {
 	ops    int
 }
 
-func buildIndex(s *Space, L int, optimized bool, opts []BuildOption) (*Index, BuildStats, error) {
-	cfg := defaultBuildConfig()
-	for _, o := range opts {
-		o(&cfg)
-	}
-	var stats BuildStats
-	if L < 1 || L > s.N() {
-		return nil, stats, fmt.Errorf("lattice: L = %d out of range [1, %d]", L, s.N())
-	}
-	if s.M() > pattern.MaxAttrs {
-		return nil, stats, fmt.Errorf("lattice: %d grouping attributes exceed the supported maximum of %d (pattern.MaxAttrs)", s.M(), pattern.MaxAttrs)
-	}
+// generate builds the index skeleton for (s, L): every cluster pattern
+// generalizing a top-L tuple, with ids assigned in first-seen enumeration
+// order (rank-major, subset-mask-minor — the order both key representations
+// share, see pattern.Codec.Ancestors), plus the key tables and the
+// singleton/all-star ids. Coverage is left empty; BuildIndex fills it with a
+// full phase-2 mapping pass, Rebase fills it incrementally from a previous
+// index. Keeping generation in one function is what guarantees an
+// incrementally maintained index assigns the same cluster ids as a from-
+// scratch rebuild.
+func generate(s *Space, L int, sliceKeys bool) *Index {
 	ix := &Index{
-		Space:     s,
-		L:         L,
-		singleton: make([]int32, L),
-		allStar:   -1,
+		Space:       s,
+		L:           L,
+		singleton:   make([]int32, L),
+		allStar:     -1,
+		sliceForced: sliceKeys,
 	}
-	if !cfg.sliceKeys {
+	if !sliceKeys {
 		cards := make([]int, s.M())
 		for j := range cards {
 			cards[j] = s.Dicts[j].Len()
@@ -207,12 +211,6 @@ func buildIndex(s *Space, L int, optimized bool, opts []BuildOption) (*Index, Bu
 		// build stays on the slice representation.
 		ix.codec, _ = pattern.NewCodec(cards)
 	}
-	stats.PackedKeys = ix.codec != nil
-
-	// Phase 1: generate clusters from each top-L tuple, sequentially (cluster
-	// ids are assigned in first-seen enumeration order, which both key
-	// representations share — see pattern.Codec.Ancestors).
-	t0 := time.Now()
 	if ix.codec != nil {
 		// Cluster count is unknown until the dedup runs; the hint trades one
 		// possible regrow against over-allocation on star-sparse spaces. The
@@ -276,6 +274,24 @@ func buildIndex(s *Space, L int, optimized bool, opts []BuildOption) (*Index, Bu
 		}
 		ix.allStar = ix.byKey[allStar.Key()]
 	}
+	return ix
+}
+
+func buildIndex(s *Space, L int, optimized bool, opts []BuildOption) (*Index, BuildStats, error) {
+	cfg := defaultBuildConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var stats BuildStats
+	if L < 1 || L > s.N() {
+		return nil, stats, fmt.Errorf("lattice: L = %d out of range [1, %d]", L, s.N())
+	}
+	if s.M() > pattern.MaxAttrs {
+		return nil, stats, fmt.Errorf("lattice: %d grouping attributes exceed the supported maximum of %d (pattern.MaxAttrs)", s.M(), pattern.MaxAttrs)
+	}
+	t0 := time.Now()
+	ix := generate(s, L, cfg.sliceKeys)
+	stats.PackedKeys = ix.codec != nil
 	stats.Generated = len(ix.Clusters)
 	stats.GenerateMs = msSince(t0)
 
@@ -561,6 +577,24 @@ func (m *LCAMemo) LCAID(a, b int32) (int32, error) {
 	}
 	m.memo.putNew(pairKey, id)
 	return id, nil
+}
+
+// Rebind attaches the memo to a successor index of the same space shape
+// (equal attribute count). keep retains the memoized pairs, which is sound
+// exactly when the successor preserved every cluster id — the fast path of
+// incremental maintenance (Index.ApplyDelta): entries are id-pair → id facts
+// about cluster patterns, and id stability carries them over unchanged. With
+// keep false the memo is flushed (the table is re-allocated at its hint
+// size; the scratch buffers are kept).
+func (m *LCAMemo) Rebind(ix *Index, keep bool) {
+	m.ix = ix
+	if !keep {
+		m.memo = newPackedMap(256)
+		m.hits, m.misses = 0, 0
+	}
+	if len(m.scratch) != ix.Space.M() {
+		m.scratch = make(pattern.Pattern, ix.Space.M())
+	}
 }
 
 // Hits returns the number of memo lookups answered from the cache.

@@ -81,6 +81,21 @@ func NewCodec(cards []int) (*Codec, bool) {
 // M returns the number of attributes the codec packs.
 func (c *Codec) M() int { return c.m }
 
+// Field returns the all-ones mask over attribute j's bit field — the packed
+// Star sentinel for that attribute. Or-ing it into a packed key stars the
+// attribute, which is how incremental maintenance jumps from a cluster to
+// its lattice parent in O(1).
+func (c *Codec) Field(j int) uint64 { return c.field[j] }
+
+// CardFits reports whether attribute j's field can hold an active domain of
+// the given cardinality: every id 0..card-1 must stay strictly below the
+// all-ones Star sentinel. Incremental maintenance uses it to detect when
+// newly interned dictionary values overflow the packed widths, forcing a
+// codec re-derivation (or the slice-key fallback).
+func (c *Codec) CardFits(j, card int) bool {
+	return uint64(card) <= c.field[j]>>c.shift[j]
+}
+
 // AllStar returns the packed all-star pattern (every field all-ones).
 func (c *Codec) AllStar() uint64 { return c.allMask }
 

@@ -1,0 +1,95 @@
+package precompute
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"qagview/internal/summarize"
+)
+
+// TestRunSweeperMatchesRun pins the caller-owned-sweeper entry point against
+// Run: same grid, same store, solution by solution.
+func TestRunSweeperMatchesRun(t *testing.T) {
+	ix := randomIndex(t, 71, 80, 4, 4, 25)
+	ds := []int{1, 2, 3}
+	want, err := Run(ix, 25, 1, 8, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := summarize.NewSweeper(ix, 25, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunSweeper(sw, 1, 8, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds {
+		for k := 1; k <= 8; k++ {
+			ws, werr := want.Solution(k, d)
+			gs, gerr := got.Solution(k, d)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("k=%d d=%d: error mismatch %v vs %v", k, d, werr, gerr)
+			}
+			if werr != nil {
+				continue
+			}
+			if math.Float64bits(ws.AvgValue()) != math.Float64bits(gs.AvgValue()) || ws.Size() != gs.Size() {
+				t.Fatalf("k=%d d=%d: solution (%v, %d) vs (%v, %d)",
+					k, d, gs.AvgValue(), gs.Size(), ws.AvgValue(), ws.Size())
+			}
+		}
+	}
+}
+
+// TestRunSweeperValidation pins RunSweeper's extra checks: grids beyond the
+// sweeper's provisioned kMax and misplaced summarize options are rejected.
+func TestRunSweeperValidation(t *testing.T) {
+	ix := randomIndex(t, 72, 40, 3, 4, 15)
+	sw, err := summarize.NewSweeper(ix, 15, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSweeper(sw, 1, 6, []int{1}); err == nil {
+		t.Error("kMax beyond the sweeper's provisioning: want error")
+	}
+	if _, err := RunSweeper(sw, 1, 5, []int{1}, WithSummarize(summarize.WithDelta(false))); err == nil {
+		t.Error("WithSummarize on RunSweeper: want error")
+	}
+	if _, err := RunSweeper(sw, 1, 5, []int{1, 1}); err == nil {
+		t.Error("duplicate D: want error")
+	}
+}
+
+// TestGenerationRoundTrip pins data-generation stamping: WithGeneration
+// marks the store and the stamp survives Encode/Decode (pre-versioning
+// snapshots decode as generation 0).
+func TestGenerationRoundTrip(t *testing.T) {
+	ix := randomIndex(t, 73, 40, 3, 4, 15)
+	st, err := Run(ix, 15, 1, 5, []int{1, 2}, WithGeneration(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Generation() != 42 {
+		t.Fatalf("generation = %d, want 42", st.Generation())
+	}
+	var buf bytes.Buffer
+	if err := st.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(&buf, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Generation() != 42 {
+		t.Fatalf("decoded generation = %d, want 42", dec.Generation())
+	}
+	unversioned, err := Run(ix, 15, 1, 5, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unversioned.Generation() != 0 {
+		t.Fatalf("default generation = %d, want 0", unversioned.Generation())
+	}
+}

@@ -23,6 +23,7 @@ type config struct {
 	parallelism int
 	sum         []summarize.Option
 	ctx         context.Context
+	gen         uint64
 }
 
 func defaultConfig() config {
@@ -51,6 +52,12 @@ func WithSummarize(opts ...summarize.Option) Option {
 	return func(c *config) { c.sum = append(c.sum, opts...) }
 }
 
+// WithGeneration stamps the store with a data generation: the monotonically
+// increasing version of the answer set it was computed over. Serving layers
+// use it to tell fresh sweeps from stale ones when live tables change; it
+// round-trips through Encode/Decode. The default is 0 (unversioned).
+func WithGeneration(gen uint64) Option { return func(c *config) { c.gen = gen } }
+
 // Store holds precomputed solutions for all (k, D) in KMin..KMax x Ds, for
 // one coverage parameter L.
 type Store struct {
@@ -60,8 +67,13 @@ type Store struct {
 	Ds         []int
 	perD       map[int]*dEntry
 
+	gen         uint64
 	replayStats summarize.ReplayStats
 }
+
+// Generation returns the data generation the store was computed over (see
+// WithGeneration); 0 for unversioned stores.
+func (s *Store) Generation() uint64 { return s.gen }
 
 // ReplayStats reports the sweeper's allocation-avoidance and memoization
 // counters for the run that produced this store: pooled replay-state reuses
@@ -90,27 +102,62 @@ func Run(ix *lattice.Index, L, kMin, kMax int, ds []int, opts ...Option) (*Store
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if kMin < 1 || kMin > kMax {
-		return nil, fmt.Errorf("precompute: bad k range [%d, %d]", kMin, kMax)
-	}
-	if len(ds) == 0 {
-		return nil, fmt.Errorf("precompute: no D values")
-	}
-	seen := make(map[int]bool, len(ds))
-	for _, d := range ds {
-		if seen[d] {
-			return nil, fmt.Errorf("precompute: duplicate D = %d", d)
-		}
-		seen[d] = true
+	if err := validateGrid(kMin, kMax, ds); err != nil {
+		return nil, err
 	}
 	sw, err := summarize.NewSweeper(ix, L, kMax, cfg.sum...)
 	if err != nil {
 		return nil, err
 	}
+	return runStore(sw, kMin, kMax, ds, cfg)
+}
+
+// RunSweeper is Run over a caller-owned sweeper — typically one warm-started
+// from a previous data generation (summarize.Sweeper.Warm), so a live-table
+// refresh reuses the previous sweep's replay states and LCA memos instead of
+// allocating from scratch. kMax may not exceed the sweeper's provisioned
+// KMax (the shared Fixed-Order pool was sized for it). Summarize options
+// belong to the sweeper and are rejected here.
+func RunSweeper(sw *summarize.Sweeper, kMin, kMax int, ds []int, opts ...Option) (*Store, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if len(cfg.sum) > 0 {
+		return nil, fmt.Errorf("precompute: WithSummarize applies at sweeper construction, not to RunSweeper")
+	}
+	if err := validateGrid(kMin, kMax, ds); err != nil {
+		return nil, err
+	}
+	if kMax > sw.KMax() {
+		return nil, fmt.Errorf("precompute: kMax = %d exceeds the sweeper's provisioned %d", kMax, sw.KMax())
+	}
+	return runStore(sw, kMin, kMax, ds, cfg)
+}
+
+func validateGrid(kMin, kMax int, ds []int) error {
+	if kMin < 1 || kMin > kMax {
+		return fmt.Errorf("precompute: bad k range [%d, %d]", kMin, kMax)
+	}
+	if len(ds) == 0 {
+		return fmt.Errorf("precompute: no D values")
+	}
+	seen := make(map[int]bool, len(ds))
+	for _, d := range ds {
+		if seen[d] {
+			return fmt.Errorf("precompute: duplicate D = %d", d)
+		}
+		seen[d] = true
+	}
+	return nil
+}
+
+func runStore(sw *summarize.Sweeper, kMin, kMax int, ds []int, cfg config) (*Store, error) {
 	st := &Store{
-		ix: ix, L: L, KMin: kMin, KMax: kMax,
+		ix: sw.Index(), L: sw.L(), KMin: kMin, KMax: kMax,
 		Ds:   append([]int(nil), ds...),
 		perD: make(map[int]*dEntry, len(ds)),
+		gen:  cfg.gen,
 	}
 	sort.Ints(st.Ds)
 	entries, err := runAll(cfg.ctx, sw, st.Ds, kMin, kMax, cfg.parallelism)

@@ -19,6 +19,9 @@ type snapshot struct {
 	Ds            []int
 	PerD          map[int]snapshotEntry
 	NumClusters   int // sanity check against the index at decode time
+	// Generation is the data generation the store was computed over (see
+	// WithGeneration); snapshots written before versioning decode as 0.
+	Generation uint64
 }
 
 type snapshotEntry struct {
@@ -34,6 +37,7 @@ func (s *Store) Encode(w io.Writer) error {
 		Ds:          append([]int(nil), s.Ds...),
 		PerD:        make(map[int]snapshotEntry, len(s.perD)),
 		NumClusters: s.ix.NumClusters(),
+		Generation:  s.gen,
 	}
 	for d, e := range s.perD {
 		snap.PerD[d] = snapshotEntry{
@@ -67,6 +71,7 @@ func Decode(r io.Reader, ix *lattice.Index) (*Store, error) {
 		ix: ix, L: snap.L, KMin: snap.KMin, KMax: snap.KMax,
 		Ds:   snap.Ds,
 		perD: make(map[int]*dEntry, len(snap.PerD)),
+		gen:  snap.Generation,
 	}
 	for d, e := range snap.PerD {
 		for _, iv := range e.Intervals {

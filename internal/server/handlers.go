@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -128,6 +129,161 @@ func (s *Server) handleListTables(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"tables": s.db.tables()})
 }
 
+// ---- live-table appends ----
+
+type appendRequest struct {
+	// Rows carries the new rows inline, one value per table column, in the
+	// table's column order.
+	Rows [][]string `json:"rows,omitempty"`
+	// CSV carries the new rows as CSV whose header row must name the table's
+	// columns in order; mutually exclusive with Rows.
+	CSV string `json:"csv,omitempty"`
+}
+
+// handleAppendRows appends rows to a loaded table, bumping its data
+// generation. The table is replaced copy-on-write under the catalog write
+// lock, so in-flight queries keep their consistent snapshot; sessions over
+// the table refresh lazily on their next read.
+func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("id")
+	var req appendRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	hasCSV := req.CSV != ""
+	if hasCSV == (len(req.Rows) > 0) {
+		writeErr(w, http.StatusBadRequest, "provide exactly one of rows or csv")
+		return
+	}
+	appended, total := 0, 0
+	gen, err := s.db.update(name, func(rel *qagview.Relation) (*qagview.Relation, error) {
+		next, n, err := appendToRelation(rel, req)
+		if err != nil {
+			return nil, err
+		}
+		if next == nil { // zero-row batch: leave the table and generation alone
+			appended, total = 0, rel.NumRows()
+			return nil, nil
+		}
+		appended, total = n, next.NumRows()
+		return next, nil
+	})
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, qagview.ErrUnknownTable) {
+			code = http.StatusNotFound
+		}
+		writeErr(w, code, "appending rows: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"table":        name,
+		"appended":     appended,
+		"rows":         total,
+		"data_version": gen,
+	})
+}
+
+// appendToRelation parses the request rows against the table's schema and
+// returns a new relation with them appended (copy-on-write: the input
+// relation's column slices are never mutated). Each value is parsed exactly
+// once: CSV batches keep ReadCSV's typed columns, inline rows are parsed
+// value by typed value — never round-tripped through CSV, whose blank-line
+// skipping would silently drop a single-column row holding an empty string.
+// A batch with zero rows returns a nil relation (db.update treats it as a
+// no-op that leaves the data generation alone).
+func appendToRelation(rel *qagview.Relation, req appendRequest) (*qagview.Relation, int, error) {
+	copyCols := func(extra int) []qagview.Column {
+		cols := make([]qagview.Column, rel.NumCols())
+		for i := 0; i < rel.NumCols(); i++ {
+			src := rel.Column(i)
+			c := qagview.Column{Name: src.Name, Kind: src.Kind}
+			switch src.Kind {
+			case qagview.KindString:
+				c.Str = append(make([]string, 0, len(src.Str)+extra), src.Str...)
+			case qagview.KindInt:
+				c.Int = append(make([]int64, 0, len(src.Int)+extra), src.Int...)
+			case qagview.KindFloat:
+				c.Float = append(make([]float64, 0, len(src.Float)+extra), src.Float...)
+			}
+			cols[i] = c
+		}
+		return cols
+	}
+
+	if req.CSV != "" {
+		kinds := make(map[string]qagview.Kind, rel.NumCols())
+		for i := 0; i < rel.NumCols(); i++ {
+			c := rel.Column(i)
+			kinds[c.Name] = c.Kind
+		}
+		batch, err := qagview.ReadCSV(strings.NewReader(req.CSV), rel.Name(), kinds)
+		if err != nil {
+			return nil, 0, err
+		}
+		if batch.NumCols() != rel.NumCols() {
+			return nil, 0, fmt.Errorf("append has %d columns, table %q has %d", batch.NumCols(), rel.Name(), rel.NumCols())
+		}
+		for i := 0; i < rel.NumCols(); i++ {
+			if batch.Column(i).Name != rel.Column(i).Name {
+				return nil, 0, fmt.Errorf("append column %d is %q, table has %q (columns must match the table's order)",
+					i, batch.Column(i).Name, rel.Column(i).Name)
+			}
+		}
+		if batch.NumRows() == 0 {
+			return nil, 0, nil
+		}
+		cols := copyCols(batch.NumRows())
+		for i := range cols {
+			add := batch.Column(i)
+			switch cols[i].Kind {
+			case qagview.KindString:
+				cols[i].Str = append(cols[i].Str, add.Str...)
+			case qagview.KindInt:
+				cols[i].Int = append(cols[i].Int, add.Int...)
+			case qagview.KindFloat:
+				cols[i].Float = append(cols[i].Float, add.Float...)
+			}
+		}
+		next, err := qagview.FromColumns(rel.Name(), cols...)
+		if err != nil {
+			return nil, 0, err
+		}
+		return next, batch.NumRows(), nil
+	}
+
+	cols := copyCols(len(req.Rows))
+	for ri, row := range req.Rows {
+		if len(row) != rel.NumCols() {
+			return nil, 0, fmt.Errorf("row %d has %d values, table %q has %d columns", ri, len(row), rel.Name(), rel.NumCols())
+		}
+		for i := range cols {
+			c := &cols[i]
+			switch c.Kind {
+			case qagview.KindString:
+				c.Str = append(c.Str, row[i])
+			case qagview.KindInt:
+				v, err := strconv.ParseInt(row[i], 10, 64)
+				if err != nil {
+					return nil, 0, fmt.Errorf("row %d column %q: %v", ri, c.Name, err)
+				}
+				c.Int = append(c.Int, v)
+			case qagview.KindFloat:
+				v, err := strconv.ParseFloat(row[i], 64)
+				if err != nil {
+					return nil, 0, fmt.Errorf("row %d column %q: %v", ri, c.Name, err)
+				}
+				c.Float = append(c.Float, v)
+			}
+		}
+	}
+	next, err := qagview.FromColumns(rel.Name(), cols...)
+	if err != nil {
+		return nil, 0, err
+	}
+	return next, len(req.Rows), nil
+}
+
 // ---- queries ----
 
 type queryRequest struct {
@@ -220,28 +376,37 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "creating session: %v", err)
 		return
 	}
+	// A reused session may predate table appends; reconcile it like every
+	// read path so the create response's data_version is never stale.
+	v, err := s.sessions.freshen(s.db, sess)
+	if err != nil {
+		writeErr(w, http.StatusConflict, "session %s is stale and could not refresh: %v", sess.ID, err)
+		return
+	}
 	code := http.StatusCreated
 	if reused {
 		code = http.StatusOK
 	}
-	writeJSON(w, code, s.sessionInfo(sess, reused))
+	writeJSON(w, code, s.sessionInfo(sess, v, reused))
 }
 
-func (s *Server) sessionInfo(sess *session, reused bool) map[string]any {
+func (s *Server) sessionInfo(sess *session, v *sessionView, reused bool) map[string]any {
 	info := map[string]any{
-		"session":  sess.ID,
-		"l":        sess.L,
-		"kmin":     sess.KMin,
-		"kmax":     sess.KMax,
-		"ds":       sess.Ds,
-		"n":        sess.sum.N(),
-		"m":        sess.sum.M(),
-		"attrs":    sess.sum.Attrs(),
-		"clusters": sess.sum.NumClusters(),
-		"packed":   sess.sum.PackedKeys(),
-		"reused":   reused,
+		"session":      sess.ID,
+		"table":        sess.Table,
+		"l":            sess.L,
+		"kmin":         sess.KMin,
+		"kmax":         sess.KMax,
+		"ds":           sess.Ds,
+		"n":            v.sum.N(),
+		"m":            v.sum.M(),
+		"attrs":        v.sum.Attrs(),
+		"clusters":     v.sum.NumClusters(),
+		"packed":       v.sum.PackedKeys(),
+		"reused":       reused,
+		"data_version": v.dataVersion,
 	}
-	st, buildErr, ready := sess.storeIfReady()
+	st, buildErr, ready := v.storeIfReady()
 	info["store_ready"] = ready && buildErr == nil
 	if buildErr != nil {
 		info["store_error"] = buildErr.Error()
@@ -249,7 +414,8 @@ func (s *Server) sessionInfo(sess *session, reused bool) map[string]any {
 	if st != nil {
 		info["store_bytes"] = st.SizeBytes()
 		info["store_intervals"] = st.StoredIntervals()
-		info["from_snapshot"] = sess.fromSnapshot
+		info["store_generation"] = st.Generation()
+		info["from_snapshot"] = v.build.fromSnapshot
 		// Decoded stores report zero ReplayStats by design: the sweep ran in
 		// a previous process.
 		info["replay_stats"] = st.ReplayStats()
@@ -267,12 +433,38 @@ func (s *Server) session(w http.ResponseWriter, r *http.Request) (*session, bool
 	return sess, true
 }
 
-func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
+// freshSession resolves the session and its current view, lazily refreshing
+// a stale session (the table's data generation moved past the view's) before
+// serving. A failed refresh is a 409: the session exists but cannot be
+// reconciled with the new data (e.g. the table shrank below its L).
+func (s *Server) freshSession(w http.ResponseWriter, r *http.Request) (*session, *sessionView, bool) {
 	sess, ok := s.session(w, r)
+	if !ok {
+		return nil, nil, false
+	}
+	v, err := s.sessions.freshen(s.db, sess)
+	if err != nil {
+		writeErr(w, http.StatusConflict, "session %s is stale and could not refresh: %v", sess.ID, err)
+		return nil, nil, false
+	}
+	return sess, v, true
+}
+
+func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
+	sess, v, ok := s.freshSession(w, r)
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, s.sessionInfo(sess, true))
+	writeJSON(w, http.StatusOK, s.sessionInfo(sess, v, true))
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.sessions.remove(id) {
+		writeErr(w, http.StatusNotFound, "unknown session %q (expired, evicted, or never created)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"session": id, "deleted": true})
 }
 
 // ---- solutions ----
@@ -307,16 +499,17 @@ func checkParams(w http.ResponseWriter, sess *session, k, d int) bool {
 	return false
 }
 
-// solutionFor retrieves the (k, d) solution: from the precomputed store when
-// the background build has finished, otherwise from a live Hybrid run — the
-// store is an interactivity optimization, never a blocking dependency.
-func solutionFor(sess *session, k, d int) (*qagview.Solution, string, error) {
-	st, buildErr, ready := sess.storeIfReady()
+// solutionFor retrieves the (k, d) solution: from the view's precomputed
+// store when the background build has finished, otherwise from a live Hybrid
+// run over the view's summarizer — the store is an interactivity
+// optimization, never a blocking dependency.
+func solutionFor(sess *session, v *sessionView, k, d int) (*qagview.Solution, string, error) {
+	st, buildErr, ready := v.storeIfReady()
 	if ready && buildErr == nil {
 		sol, err := st.Solution(k, d)
 		return sol, "store", err
 	}
-	sol, err := sess.sum.Summarize(qagview.Hybrid, qagview.Params{K: k, L: sess.L, D: d})
+	sol, err := v.sum.Summarize(qagview.Hybrid, qagview.Params{K: k, L: sess.L, D: d})
 	return sol, "live", err
 }
 
@@ -333,8 +526,8 @@ type memberJSON struct {
 	Val  float64  `json:"val"`
 }
 
-func renderSolution(sess *session, sol *qagview.Solution, expand bool) []clusterJSON {
-	rows := sess.sum.Rows(sol)
+func renderSolution(v *sessionView, sol *qagview.Solution, expand bool) []clusterJSON {
+	rows := v.sum.Rows(sol)
 	out := make([]clusterJSON, len(rows))
 	for i, row := range rows {
 		out[i] = clusterJSON{Pattern: row.Pattern, Avg: row.Avg, Size: row.Size}
@@ -348,7 +541,7 @@ func renderSolution(sess *session, sol *qagview.Solution, expand bool) []cluster
 }
 
 func (s *Server) handleSolution(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.session(w, r)
+	sess, v, ok := s.freshSession(w, r)
 	if !ok {
 		return
 	}
@@ -363,7 +556,7 @@ func (s *Server) handleSolution(w http.ResponseWriter, r *http.Request) {
 	if !checkParams(w, sess, k, d) {
 		return
 	}
-	sol, source, err := solutionFor(sess, k, d)
+	sol, source, err := solutionFor(sess, v, k, d)
 	if err != nil {
 		// In-range parameters the sweep has no solution for (k below the
 		// smallest size the merge reached for this D).
@@ -372,22 +565,23 @@ func (s *Server) handleSolution(w http.ResponseWriter, r *http.Request) {
 	}
 	expand := r.URL.Query().Get("expand") == "1"
 	writeJSON(w, http.StatusOK, map[string]any{
-		"session":   sess.ID,
-		"k":         k,
-		"d":         d,
-		"source":    source,
-		"objective": sol.AvgValue(),
-		"covered":   len(sol.Covered),
-		"clusters":  renderSolution(sess, sol, expand),
+		"session":      sess.ID,
+		"k":            k,
+		"d":            d,
+		"source":       source,
+		"data_version": v.dataVersion,
+		"objective":    sol.AvgValue(),
+		"covered":      len(sol.Covered),
+		"clusters":     renderSolution(v, sol, expand),
 	})
 }
 
 func (s *Server) handleGuidance(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.session(w, r)
+	sess, v, ok := s.freshSession(w, r)
 	if !ok {
 		return
 	}
-	st, buildErr, ready := sess.storeIfReady()
+	st, buildErr, ready := v.storeIfReady()
 	if !ready {
 		writeErr(w, http.StatusConflict, "guidance needs the precomputed store; the background build is still running")
 		return
@@ -406,18 +600,19 @@ func (s *Server) handleGuidance(w http.ResponseWriter, r *http.Request) {
 		minSizes[strconv.Itoa(d)] = ms
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"session":   sess.ID,
-		"kmin":      g.KMin,
-		"kmax":      g.KMax,
-		"series":    series,
-		"min_sizes": minSizes,
+		"session":      sess.ID,
+		"kmin":         g.KMin,
+		"kmax":         g.KMax,
+		"data_version": v.dataVersion,
+		"series":       series,
+		"min_sizes":    minSizes,
 	})
 }
 
 // ---- diffs ----
 
 func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.session(w, r)
+	sess, v, ok := s.freshSession(w, r)
 	if !ok {
 		return
 	}
@@ -433,29 +628,30 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	if !checkParams(w, sess, k1, d1) || !checkParams(w, sess, k2, d2) {
 		return
 	}
-	prev, prevSrc, err := solutionFor(sess, k1, d1)
+	prev, prevSrc, err := solutionFor(sess, v, k1, d1)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, "no solution for k1=%d, d1=%d: %v", k1, d1, err)
 		return
 	}
-	next, nextSrc, err := solutionFor(sess, k2, d2)
+	next, nextSrc, err := solutionFor(sess, v, k2, d2)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, "no solution for k2=%d, d2=%d: %v", k2, d2, err)
 		return
 	}
-	diff, err := sess.sum.Compare(prev, next)
+	diff, err := v.sum.Compare(prev, next)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, "diff failed: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"session":   sess.ID,
-		"from":      map[string]any{"k": k1, "d": d1, "source": prevSrc},
-		"to":        map[string]any{"k": k2, "d": d2, "source": nextSrc},
-		"left":      renderSolution(sess, prev, false),
-		"right":     renderSolution(sess, next, false),
-		"overlap":   diff.M,
-		"left_top":  diff.LeftTop,
-		"right_top": diff.RightTop,
+		"session":      sess.ID,
+		"data_version": v.dataVersion,
+		"from":         map[string]any{"k": k1, "d": d1, "source": prevSrc},
+		"to":           map[string]any{"k": k2, "d": d2, "source": nextSrc},
+		"left":         renderSolution(v, prev, false),
+		"right":        renderSolution(v, next, false),
+		"overlap":      diff.M,
+		"left_top":     diff.LeftTop,
+		"right_top":    diff.RightTop,
 	})
 }

@@ -47,23 +47,95 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// db wraps qagview.DB with the lock the HTTP surface needs: table loads
-// write the catalog while queries read it.
+// db wraps qagview.DB with the lock the HTTP surface needs — table loads
+// write the catalog while queries read it — and a per-table data generation,
+// bumped on every load or row append, that drives session staleness.
 type db struct {
-	mu sync.RWMutex
-	db *qagview.DB
+	mu   sync.RWMutex
+	db   *qagview.DB
+	gens map[string]uint64
+}
+
+func newServerDB() *db {
+	return &db{db: qagview.NewDB(), gens: make(map[string]uint64)}
 }
 
 func (d *db) register(r *qagview.Relation) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.db.Register(r)
+	if err := d.db.Register(r); err != nil {
+		return err
+	}
+	d.gens[r.Name()]++
+	return nil
+}
+
+// update replaces the named table with fn's result and returns the new data
+// generation. The expensive part — fn's copy-on-write rebuild, O(table) per
+// append — runs outside the catalog lock against a snapshot, so queries are
+// never blocked behind it; the swap then re-checks the generation and
+// retries from the newer snapshot if a concurrent update won the race
+// (appends compose, so re-applying fn is correct, and each retry means
+// someone else made progress). A nil next from fn is a no-op: the table and
+// its generation stay untouched (an empty append must not mark every
+// session over the table stale).
+func (d *db) update(name string, fn func(*qagview.Relation) (*qagview.Relation, error)) (uint64, error) {
+	for {
+		d.mu.RLock()
+		rel, err := d.db.Table(name)
+		gen := d.gens[name]
+		d.mu.RUnlock()
+		if err != nil {
+			return 0, err
+		}
+		next, err := fn(rel)
+		if err != nil {
+			return 0, err
+		}
+		if next == nil {
+			return gen, nil
+		}
+		d.mu.Lock()
+		if d.gens[name] != gen {
+			d.mu.Unlock()
+			continue // lost the race: rebuild from the newer snapshot
+		}
+		if err := d.db.Register(next); err != nil {
+			d.mu.Unlock()
+			return 0, err
+		}
+		d.gens[name]++
+		g := d.gens[name]
+		d.mu.Unlock()
+		return g, nil
+	}
 }
 
 func (d *db) query(sql string) (*qagview.Result, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return d.db.Query(sql)
+}
+
+// queryVersioned runs sql and reports the generation of its FROM table as of
+// (at latest) the start of the query, under one read lock so no append can
+// slip between the generation read and the scan.
+func (d *db) queryVersioned(sql string) (*qagview.Result, uint64, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	res, err := d.db.Query(sql)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, d.gens[res.Table], nil
+}
+
+// generation returns the table's current data generation (0 for unknown
+// tables).
+func (d *db) generation(table string) uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.gens[table]
 }
 
 func (d *db) tables() []string {
@@ -86,7 +158,7 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
-		db:       &db{db: qagview.NewDB()},
+		db:       newServerDB(),
 		sessions: newSessionManager(cfg.MaxSessions, cfg.MaxCacheBytes, cfg.SnapshotDir),
 		metrics:  newMetrics(),
 	}
@@ -96,9 +168,11 @@ func New(cfg Config) *Server {
 	}
 	route("POST /v1/tables", "POST /v1/tables", s.handleCreateTable)
 	route("GET /v1/tables", "GET /v1/tables", s.handleListTables)
+	route("POST /v1/tables/{id}/rows", "POST /v1/tables/{id}/rows", s.handleAppendRows)
 	route("POST /v1/queries", "POST /v1/queries", s.handleQuery)
 	route("POST /v1/sessions", "POST /v1/sessions", s.handleCreateSession)
 	route("GET /v1/sessions/{id}", "GET /v1/sessions/{id}", s.handleSessionInfo)
+	route("DELETE /v1/sessions/{id}", "DELETE /v1/sessions/{id}", s.handleDeleteSession)
 	route("GET /v1/sessions/{id}/solution", "GET /v1/sessions/{id}/solution", s.handleSolution)
 	route("GET /v1/sessions/{id}/guidance", "GET /v1/sessions/{id}/guidance", s.handleGuidance)
 	route("GET /v1/sessions/{id}/diff", "GET /v1/sessions/{id}/diff", s.handleDiff)

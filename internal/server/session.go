@@ -14,48 +14,87 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"qagview"
 )
 
-// session is one live exploration context: a Summarizer for (query, L) plus
-// a lazily built precompute Store over its (k, D) grid. The summarizer and
-// the immutable fields are safe for concurrent reads; the store is published
-// exactly once, before ready closes.
+// session is one live exploration context: a (query, L, grid) spine plus a
+// chain of per-generation views. The spine fields are immutable; the current
+// view is published through an atomic pointer, so reads never lock, and
+// refreshes (live tables changed under the session) swap in a successor view
+// built by the incremental-maintenance subsystem.
 type session struct {
 	ID         string
 	SQL        string
+	Table      string // FROM relation; its data generation drives staleness
 	L          int
 	KMin, KMax int
 	Ds         []int
 
-	sum *qagview.Summarizer
-	// dataFP fingerprints the query result the summarizer was built from;
-	// snapshot files carry it so a warm restart over changed table data
-	// re-sweeps instead of serving stale solutions.
-	dataFP string
+	// live owns the delta-maintained index and warm sweeper chain. It is
+	// single-writer: only the refresh critical section (refreshMu, entered
+	// through the manager's singleflight) and the one in-flight store build
+	// between a view's creation and its ready-close may touch it.
+	live      *qagview.Live
+	refreshMu sync.Mutex
+	dead      atomic.Bool
 
-	// ready closes when the background build finishes (store or buildErr
-	// set). Readers that find it open fall back to live summarization, so no
-	// read ever blocks on a build — this session's or another's.
+	view atomic.Pointer[sessionView]
+
+	created time.Time
+}
+
+// sessionView is one data generation's immutable serving state: the
+// summarizer snapshot, the data version it reflects, and the store build it
+// serves from. Views whose data is byte-identical (a no-op refresh: an
+// append the query filters out) share one storeBuild, so the sweep —
+// finished or still running — carries across version bumps untouched.
+type sessionView struct {
+	sum         *qagview.Summarizer
+	dataVersion uint64
+	dataFP      string
+	build       *storeBuild
+}
+
+// storeBuild is one background (k, D) sweep. Result fields are written
+// exactly once, before ready closes; readers that find ready open fall back
+// to live summarization, so no read ever blocks on a build.
+type storeBuild struct {
 	ready        chan struct{}
 	store        *qagview.Store
 	buildErr     error
 	fromSnapshot bool
 
-	cancel  context.CancelFunc
-	created time.Time
+	cancel context.CancelFunc
+}
+
+func newStoreBuild(cancel context.CancelFunc) *storeBuild {
+	return &storeBuild{ready: make(chan struct{}), cancel: cancel}
 }
 
 // storeIfReady returns the precomputed store without blocking: (nil, nil,
 // false) while the background build is still running.
-func (s *session) storeIfReady() (*qagview.Store, error, bool) {
+func (v *sessionView) storeIfReady() (*qagview.Store, error, bool) {
 	select {
-	case <-s.ready:
-		return s.store, s.buildErr, true
+	case <-v.build.ready:
+		return v.build.store, v.build.buildErr, true
 	default:
 		return nil, nil, false
+	}
+}
+
+// currentView returns the session's live view.
+func (s *session) currentView() *sessionView { return s.view.Load() }
+
+// shutdown cancels the session's background work (eviction, explicit
+// delete). A refresh racing shutdown re-checks dead after swapping and
+// cancels its own view, so no build outlives the session.
+func (s *session) shutdown() {
+	s.dead.Store(true)
+	if v := s.view.Load(); v != nil {
+		v.build.cancel()
 	}
 }
 
@@ -76,7 +115,7 @@ func sessionKey(sql string, l, kMin, kMax int, ds []int) string {
 }
 
 // resultFingerprint hashes the ranked answer set (attributes, rows, exact
-// value bits) a session is built from.
+// value bits) a session view is built from.
 func resultFingerprint(res *qagview.Result) string {
 	h := sha256.New()
 	for _, a := range res.GroupBy {
@@ -101,14 +140,18 @@ type managerStats struct {
 	BuildErrors   int64 `json:"build_errors"`
 	Deduped       int64 `json:"deduped"`
 	Evictions     int64 `json:"evictions"`
+	Deletes       int64 `json:"deletes"`
+	Refreshes     int64 `json:"refreshes"`
+	RefreshNoops  int64 `json:"refresh_noops"`
+	RefreshErrors int64 `json:"refresh_errors"`
 	SnapshotLoads int64 `json:"snapshot_loads"`
 	SnapshotSaves int64 `json:"snapshot_saves"`
 }
 
-// sessionManager owns the LRU of live sessions. Summarizer construction is
-// deduplicated through a singleflight group; precompute stores build in one
-// background goroutine per session, cancelled on eviction via the context
-// threaded into Precompute.
+// sessionManager owns the LRU of live sessions. Summarizer construction and
+// session refreshes are deduplicated through a singleflight group; precompute
+// stores build in one background goroutine per view, cancelled on eviction or
+// supersession via the context threaded into Precompute.
 type sessionManager struct {
 	mu    sync.Mutex
 	cache *lruCache // session id -> *session
@@ -116,6 +159,11 @@ type sessionManager struct {
 
 	flight      flightGroup
 	snapshotDir string
+
+	// removing marks an explicit DELETE in progress (under mu), so the
+	// eviction hook can tell cache-pressure evictions from user deletes and
+	// keep the evictions gauge meaningful for LRU sizing.
+	removing bool
 }
 
 func newSessionManager(maxSessions int, maxBytes int64, snapshotDir string) *sessionManager {
@@ -123,8 +171,10 @@ func newSessionManager(maxSessions int, maxBytes int64, snapshotDir string) *ses
 	m.cache = newLRUCache(maxSessions, maxBytes, func(_ string, v any) {
 		// Runs under m.mu (all cache mutations do). Cancelling an in-flight
 		// build makes Precompute return ctx.Err() at its next per-D check.
-		m.stats.Evictions++
-		v.(*session).cancel()
+		if !m.removing {
+			m.stats.Evictions++
+		}
+		v.(*session).shutdown()
 	})
 	return m
 }
@@ -138,6 +188,21 @@ func (m *sessionManager) get(id string) (*session, bool) {
 		return nil, false
 	}
 	return v.(*session), true
+}
+
+// remove drops the session (explicit DELETE), cancelling its background
+// work through the eviction hook.
+func (m *sessionManager) remove(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.cache.Get(id); !ok {
+		return false
+	}
+	m.stats.Deletes++
+	m.removing = true
+	m.cache.Remove(id)
+	m.removing = false
+	return true
 }
 
 // open returns the live session for (sql, L, grid), building it if needed.
@@ -174,7 +239,11 @@ func (m *sessionManager) open(db *db, sql string, l, kMin, kMax int, ds []int) (
 // background store build. Callers hold the singleflight slot for key, so at
 // most one build per key runs at a time.
 func (m *sessionManager) build(db *db, id, sql string, l, kMin, kMax int, ds []int) (*session, error) {
-	res, err := db.query(sql)
+	// Read the table generation before running the query: if an append races
+	// in between, the view is labeled older than the data it may contain and
+	// the first read triggers a refresh that diffs to a no-op — never the
+	// other way around (stale data labeled fresh).
+	res, gen, err := db.queryVersioned(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -202,82 +271,189 @@ func (m *sessionManager) build(db *db, id, sql string, l, kMin, kMax int, ds []i
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &session{
-		ID: id, SQL: sql, L: l, KMin: kMin, KMax: kMax,
+		ID: id, SQL: sql, Table: res.Table, L: l, KMin: kMin, KMax: kMax,
 		Ds:      append([]int(nil), ds...),
-		sum:     sum,
-		dataFP:  resultFingerprint(res),
-		ready:   make(chan struct{}),
-		cancel:  cancel,
+		live:    qagview.NewLive(sum),
 		created: time.Now(),
 	}
 	sort.Ints(s.Ds)
+	v := &sessionView{
+		sum:         sum,
+		dataVersion: gen,
+		dataFP:      resultFingerprint(res),
+		build:       newStoreBuild(cancel),
+	}
+	s.view.Store(v)
 	m.mu.Lock()
 	m.stats.Builds++
 	m.cache.Add(id, s, sum.ApproxBytes())
 	m.mu.Unlock()
-	go m.buildStore(ctx, s)
+	go m.buildStore(ctx, s, v)
 	return s, nil
 }
 
-// buildStore materializes the session's precompute store in the background:
-// from a snapshot when one exists for this session key (warm restart, no
-// sweep), otherwise by running the cancellable sweep and snapshotting the
-// result for the next restart.
-func (m *sessionManager) buildStore(ctx context.Context, s *session) {
-	defer close(s.ready)
+// freshen returns the session's current view, first reconciling it with the
+// table's data generation: the first read of a stale session re-runs the
+// query, applies the answer-set delta through the incremental maintenance
+// subsystem, supersedes any in-flight sweep (cancel + wait), and kicks off
+// the successor store build. Concurrent stale reads share one refresh
+// through the singleflight group.
+func (m *sessionManager) freshen(db *db, s *session) (*sessionView, error) {
+	cur := s.currentView()
+	if s.dead.Load() || cur.dataVersion >= db.generation(s.Table) {
+		return cur, nil
+	}
+	v, err, _ := m.flight.Do("refresh|"+s.ID, func() (any, error) {
+		s.refreshMu.Lock()
+		defer s.refreshMu.Unlock()
+		cur := s.currentView()
+		want := db.generation(s.Table)
+		if s.dead.Load() || cur.dataVersion >= want {
+			return cur, nil // raced with another refresh or a delete
+		}
+		res, err := db.query(s.SQL)
+		if err != nil {
+			m.countRefresh(&m.stats.RefreshErrors)
+			return nil, fmt.Errorf("refresh query: %w", err)
+		}
+		if res.N() < s.L {
+			m.countRefresh(&m.stats.RefreshErrors)
+			return nil, fmt.Errorf("refreshed result has %d groups, below the session's l = %d", res.N(), s.L)
+		}
+		fp := resultFingerprint(res)
+		if fp == cur.dataFP {
+			// The answer set is byte-identical (e.g. the append fell below
+			// the query's HAVING threshold): bump the version label, sharing
+			// the current store build — finished or still sweeping — without
+			// cancelling anything.
+			nv := &sessionView{sum: cur.sum, dataVersion: want, dataFP: fp, build: cur.build}
+			s.view.Store(nv)
+			m.countRefresh(&m.stats.RefreshNoops)
+			return nv, nil
+		}
+		// Supersede the current generation's sweep: cancel it and wait for
+		// the build goroutine to let go of the maintainer (Live is
+		// single-writer; ready closes when the build returns).
+		cur.build.cancel()
+		<-cur.build.ready
+		if _, _, err := s.live.Refresh(res); err != nil {
+			m.countRefresh(&m.stats.RefreshErrors)
+			return nil, fmt.Errorf("refresh: %w", err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		nv := &sessionView{
+			sum:         s.live.Summarizer(),
+			dataVersion: want,
+			dataFP:      fp,
+			build:       newStoreBuild(cancel),
+		}
+		s.view.Store(nv)
+		if s.dead.Load() {
+			cancel() // lost a race with eviction; don't leak the build
+		}
+		m.mu.Lock()
+		m.stats.Refreshes++
+		m.cache.Resize(s.ID, nv.sum.ApproxBytes())
+		m.mu.Unlock()
+		go m.buildStore(ctx, s, nv)
+		return nv, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*sessionView), nil
+}
+
+func (m *sessionManager) countRefresh(counter *int64) {
+	m.mu.Lock()
+	*counter++
+	m.mu.Unlock()
+}
+
+// buildStore materializes a view's precompute store in the background: from
+// a snapshot when one exists for this session key and data fingerprint (warm
+// restart, no sweep), otherwise by running the cancellable sweep — through
+// the warm sweeper chain, so a refreshed session reuses the previous
+// generation's replay state — and snapshotting the result for the next
+// restart.
+func (m *sessionManager) buildStore(ctx context.Context, s *session, v *sessionView) {
+	defer close(v.build.ready)
 	// A panic here would kill the whole process (background goroutine), so
 	// degrade to a build error: the session keeps serving via the live path.
 	defer func() {
 		if r := recover(); r != nil {
-			s.buildErr = fmt.Errorf("store build panicked: %v", r)
+			v.build.buildErr = fmt.Errorf("store build panicked: %v", r)
 			m.mu.Lock()
 			m.stats.BuildErrors++
 			m.mu.Unlock()
 		}
 	}()
-	if st, ok := m.loadSnapshot(s); ok {
-		s.store, s.fromSnapshot = st, true
-		m.resize(s)
+	if st, ok := m.loadSnapshot(s, v); ok {
+		v.build.store, v.build.fromSnapshot = st, true
+		m.resize(s, v)
 		return
 	}
-	st, err := s.sum.Precompute(s.KMin, s.KMax, s.Ds, qagview.WithPrecomputeContext(ctx))
+	st, err := s.live.Precompute(s.KMin, s.KMax, s.Ds,
+		qagview.WithPrecomputeContext(ctx),
+		qagview.WithStoreGeneration(v.dataVersion))
 	if err != nil {
-		s.buildErr = err
+		v.build.buildErr = err
 		if !errors.Is(err, context.Canceled) {
-			// Cancellation is routine eviction cleanup (already counted in
-			// Evictions), not a failure signal.
+			// Cancellation is routine eviction/supersession cleanup (already
+			// counted), not a failure signal.
 			m.mu.Lock()
 			m.stats.BuildErrors++
 			m.mu.Unlock()
 		}
 		return
 	}
-	s.store = st
-	m.resize(s)
-	m.saveSnapshot(s, st)
+	v.build.store = st
+	m.resize(s, v)
+	m.saveSnapshot(s, v, st)
 }
 
 // resize re-accounts the session's cache cost once its store exists.
-func (m *sessionManager) resize(s *session) {
+func (m *sessionManager) resize(s *session, v *sessionView) {
 	m.mu.Lock()
-	m.cache.Resize(s.ID, s.sum.ApproxBytes()+s.store.SizeBytes())
+	m.cache.Resize(s.ID, v.sum.ApproxBytes()+v.build.store.SizeBytes())
 	m.mu.Unlock()
 }
 
-func (m *sessionManager) snapshotPath(s *session) string {
-	return filepath.Join(m.snapshotDir, s.ID+"-"+s.dataFP+".store")
+// snapshotPath names a view's snapshot file: session id, data generation,
+// and content fingerprint. Keying by generation keeps every generation's
+// sweep on disk (the freshest wins on restart); the fingerprint is what
+// load matches on, since generation counters restart with the process.
+func (m *sessionManager) snapshotPath(s *session, v *sessionView) string {
+	return filepath.Join(m.snapshotDir, fmt.Sprintf("%s-g%d-%s.store", s.ID, v.dataVersion, v.dataFP))
 }
 
-func (m *sessionManager) loadSnapshot(s *session) (*qagview.Store, bool) {
+// loadSnapshot finds a snapshot whose content fingerprint matches the view's
+// data, regardless of which generation number wrote it (a warm restart
+// resets generation counters but not table contents).
+func (m *sessionManager) loadSnapshot(s *session, v *sessionView) (*qagview.Store, bool) {
 	if m.snapshotDir == "" {
 		return nil, false
 	}
-	f, err := os.Open(m.snapshotPath(s))
+	matches, err := filepath.Glob(filepath.Join(m.snapshotDir, s.ID+"-g*-"+v.dataFP+".store"))
+	if err != nil || len(matches) == 0 {
+		return nil, false
+	}
+	// All matches hold identical data (same fingerprint); prefer the highest
+	// generation number — parsed, not lexicographic, so g10 beats g9 — for
+	// the freshest stamp when GC left more than one behind.
+	best := matches[0]
+	bestGen := snapshotGen(best, s.ID)
+	for _, mpath := range matches[1:] {
+		if g := snapshotGen(mpath, s.ID); g > bestGen {
+			best, bestGen = mpath, g
+		}
+	}
+	f, err := os.Open(best)
 	if err != nil {
 		return nil, false
 	}
 	defer f.Close()
-	st, err := s.sum.DecodeStore(f)
+	st, err := v.sum.DecodeStore(f)
 	if err != nil {
 		// Stale or foreign snapshot (e.g. the table changed under the same
 		// query text): fall back to a fresh sweep, which overwrites it.
@@ -297,7 +473,22 @@ func (m *sessionManager) loadSnapshot(s *session) (*qagview.Store, bool) {
 	return st, true
 }
 
-func (m *sessionManager) saveSnapshot(s *session, st *qagview.Store) {
+// snapshotGen extracts the generation number from a snapshot filename
+// ({session}-g{gen}-{fingerprint}.store); malformed names rank lowest.
+func snapshotGen(path, sessionID string) uint64 {
+	base := strings.TrimPrefix(filepath.Base(path), sessionID+"-g")
+	digits, _, ok := strings.Cut(base, "-")
+	if !ok {
+		return 0
+	}
+	g, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return g
+}
+
+func (m *sessionManager) saveSnapshot(s *session, v *sessionView, st *qagview.Store) {
 	if m.snapshotDir == "" {
 		return
 	}
@@ -313,8 +504,21 @@ func (m *sessionManager) saveSnapshot(s *session, st *qagview.Store) {
 	if err := tmp.Close(); err != nil {
 		return
 	}
-	if err := os.Rename(tmp.Name(), m.snapshotPath(s)); err != nil {
+	target := m.snapshotPath(s, v)
+	if err := os.Rename(tmp.Name(), target); err != nil {
 		return
+	}
+	// Garbage-collect superseded generations: without this, a session over a
+	// table under routine appends would grow one store file per refresh
+	// forever. Open readers on unix keep their fd across the unlink, so a
+	// concurrent warm-restart load racing the delete still decodes cleanly
+	// (or misses and re-sweeps).
+	if old, err := filepath.Glob(filepath.Join(m.snapshotDir, s.ID+"-g*.store")); err == nil {
+		for _, f := range old {
+			if f != target {
+				_ = os.Remove(f)
+			}
+		}
 	}
 	m.mu.Lock()
 	m.stats.SnapshotSaves++

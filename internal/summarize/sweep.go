@@ -21,6 +21,7 @@ import (
 type Sweeper struct {
 	ix   *Index
 	cfg  config
+	l    int
 	kMax int
 	base *workset // state after the shared Fixed-Order phase
 
@@ -117,11 +118,20 @@ func NewSweeper(ix *Index, L, kMax int, opts ...Option) (*Sweeper, error) {
 	if err := fixedOrderPhase(ws, p, nil); err != nil {
 		return nil, err
 	}
-	return &Sweeper{ix: ix, cfg: cfg, kMax: kMax, base: ws}, nil
+	return &Sweeper{ix: ix, cfg: cfg, l: L, kMax: kMax, base: ws}, nil
 }
 
 // PoolSize returns the number of clusters after the shared phase.
 func (sw *Sweeper) PoolSize() int { return sw.base.size() }
+
+// Index returns the cluster space the sweeper replays over.
+func (sw *Sweeper) Index() *Index { return sw.ix }
+
+// L returns the coverage parameter of the shared Fixed-Order phase.
+func (sw *Sweeper) L() int { return sw.l }
+
+// KMax returns the largest solution size the sweeper was provisioned for.
+func (sw *Sweeper) KMax() int { return sw.kMax }
 
 // Stats returns a snapshot of the sweeper's replay counters. It is safe to
 // call concurrently with RunD.

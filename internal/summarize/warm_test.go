@@ -1,0 +1,137 @@
+package summarize
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"qagview/internal/lattice"
+)
+
+// assertTracesEqual compares two per-D sweep traces bit for bit: state
+// sizes, cluster id sets, exact sum bits, and counts.
+func assertTracesEqual(t *testing.T, label string, got, want *SweepStates) {
+	t.Helper()
+	if got.D != want.D || len(got.States) != len(want.States) {
+		t.Fatalf("%s: trace shape (D=%d, %d states) vs (D=%d, %d states)",
+			label, got.D, len(got.States), want.D, len(want.States))
+	}
+	for i := range got.States {
+		g, w := &got.States[i], &want.States[i]
+		if g.Size != w.Size || g.Count != w.Count {
+			t.Fatalf("%s: state %d is (size %d, count %d) vs (size %d, count %d)",
+				label, i, g.Size, g.Count, w.Size, w.Count)
+		}
+		if math.Float64bits(g.Sum) != math.Float64bits(w.Sum) {
+			t.Fatalf("%s: state %d sum %v vs %v", label, i, g.Sum, w.Sum)
+		}
+		for j := range g.Clusters {
+			if g.Clusters[j] != w.Clusters[j] {
+				t.Fatalf("%s: state %d cluster[%d] = %d vs %d", label, i, j, g.Clusters[j], w.Clusters[j])
+			}
+		}
+	}
+}
+
+// applyRandomDelta mutates the space behind ix through ApplyDelta: appends
+// drawn from the active domains (optionally one new leader that churns the
+// top L) plus a couple of deletes outside it.
+func applyRandomDelta(t *testing.T, ix *lattice.Index, seed int64, leader bool) (*lattice.Index, lattice.DeltaStats) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	s := ix.Space
+	var d lattice.Delta
+	for i := 0; i < 6; i++ {
+		row := make([]string, s.M())
+		for j := range row {
+			vals := s.Dicts[j].Values()
+			row[j] = vals[rng.Intn(len(vals))]
+		}
+		d.AppendRows = append(d.AppendRows, row)
+		if leader && i == 0 {
+			d.AppendVals = append(d.AppendVals, s.Vals[0]+1)
+		} else {
+			d.AppendVals = append(d.AppendVals, s.Vals[ix.L-1]-1-rng.Float64())
+		}
+	}
+	d.DeleteRanks = []int{s.N() - 1, s.N() - 3}
+	nix, stats, err := ix.ApplyDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FastPath == leader {
+		t.Fatalf("fixture: leader=%v but FastPath=%v", leader, stats.FastPath)
+	}
+	return nix, stats
+}
+
+// TestWarmSweeperMatchesCold pins the warm-start contract: a sweeper warmed
+// onto a delta-maintained index — reusing the previous generation's replay
+// states and (on the fast path) LCA memos — replays every (k, D) trace
+// bit-identically to a cold sweeper built from scratch, across a chain of
+// fast-path and slow-path deltas.
+func TestWarmSweeperMatchesCold(t *testing.T) {
+	ix := randomIndex(t, 555, 120, 4, 4, 30)
+	const L, kMax = 30, 12
+	sw, err := NewSweeper(ix, L, kMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Populate the pool so Warm has states to migrate.
+	for d := 0; d <= ix.Space.M(); d++ {
+		if _, err := sw.RunD(d, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for step, leader := range []bool{false, true, false} {
+		nix, stats := applyRandomDelta(t, ix, 600+int64(step), leader)
+		warm, err := sw.Warm(nix, stats.FastPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := NewSweeper(nix, L, kMax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.PoolSize() != cold.PoolSize() {
+			t.Fatalf("step %d: warm pool %d vs cold %d", step, warm.PoolSize(), cold.PoolSize())
+		}
+		for d := 0; d <= nix.Space.M(); d++ {
+			wt, err := warm.RunD(d, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ct, err := cold.RunD(d, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertTracesEqual(t, fmt.Sprintf("step%d/D%d", step, d), wt, ct)
+		}
+		if reuses := warm.Stats().PooledReuses; reuses == 0 {
+			t.Fatalf("step %d: warm sweeper never reused a migrated replay state", step)
+		}
+		if stats.FastPath {
+			// Fast-path warm starts keep LCA memos: the very first replays
+			// must already answer some LCA lookups from cache.
+			if hits := warm.Stats().LCAMemoHits; hits == 0 {
+				t.Fatalf("step %d: fast-path warm start kept no LCA memo entries", step)
+			}
+		}
+		ix, sw = nix, warm
+	}
+}
+
+// TestWarmSweeperRejectsBadIndex pins Warm's validation: an index whose L is
+// below the sweeper's shared-phase L cannot host the replays.
+func TestWarmSweeperRejectsBadIndex(t *testing.T) {
+	ix := randomIndex(t, 556, 60, 3, 5, 20)
+	sw, err := NewSweeper(ix, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := randomIndex(t, 557, 60, 3, 5, 10) // L = 10 < 20
+	if _, err := sw.Warm(small, false); err == nil {
+		t.Fatal("want an error warming onto an index with smaller L")
+	}
+}

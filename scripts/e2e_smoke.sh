@@ -62,6 +62,31 @@ echo "== GET diff (k=2 -> k=3)"
 ck 200 "$OUT/diff.json" "${BASE}/v1/sessions/${SESSION}/diff?k1=2&d1=1&k2=3&d2=1"
 grep -q '"overlap"' "$OUT/diff.json" || { cat "$OUT/diff.json" >&2; fail "diff has no overlap matrix"; }
 
+echo "== live tables: session refresh after mid-session appends"
+SQL2='SELECT g, h, avg(v) AS val FROM live GROUP BY g, h ORDER BY val DESC'
+ck 201 "$OUT/live_table.json" -X POST "${BASE}/v1/tables" \
+  -H 'Content-Type: application/json' \
+  -d '{"name": "live", "attrs": ["g", "h", "v"], "kinds": {"v": "float"}, "rows": [["a","x","9"],["a","y","8"],["b","x","7"],["b","y","6"],["c","x","5"],["c","y","4"]]}'
+ck 201 "$OUT/live_session.json" -X POST "${BASE}/v1/sessions" \
+  -H 'Content-Type: application/json' \
+  -d "{\"sql\": \"${SQL2}\", \"l\": 4, \"kmin\": 1, \"kmax\": 3, \"ds\": [1]}"
+LIVESESS=$(sed -n 's/.*"session": "\([^"]*\)".*/\1/p' "$OUT/live_session.json" | head -1)
+[ -n "$LIVESESS" ] || { cat "$OUT/live_session.json" >&2; fail "no live session id"; }
+ck 200 "$OUT/live_sol1.json" "${BASE}/v1/sessions/${LIVESESS}/solution?k=2&d=1"
+grep -q '"data_version": 1' "$OUT/live_sol1.json" || { cat "$OUT/live_sol1.json" >&2; fail "fresh live solution should be data_version 1"; }
+ck 200 "$OUT/append.json" -X POST "${BASE}/v1/tables/live/rows" \
+  -H 'Content-Type: application/json' \
+  -d '{"rows": [["c","y","50"], ["d","x","1"]]}'
+grep -q '"data_version": 2' "$OUT/append.json" || { cat "$OUT/append.json" >&2; fail "append should bump the table to data_version 2"; }
+ck 200 "$OUT/live_sol2.json" "${BASE}/v1/sessions/${LIVESESS}/solution?k=2&d=1"
+grep -q '"data_version": 2' "$OUT/live_sol2.json" || { cat "$OUT/live_sol2.json" >&2; fail "refreshed solution should carry data_version 2"; }
+grep -q '"pattern"' "$OUT/live_sol2.json" || { cat "$OUT/live_sol2.json" >&2; fail "refreshed solution has no clusters"; }
+
+echo "== DELETE /v1/sessions/{id} evicts"
+ck 200 "$OUT/del.json" -X DELETE "${BASE}/v1/sessions/${LIVESESS}"
+ck 404 "$OUT/del404.json" "${BASE}/v1/sessions/${LIVESESS}"
+ck 404 "$OUT/del404b.json" -X DELETE "${BASE}/v1/sessions/${LIVESESS}"
+
 echo "== error paths stay errors"
 ck 404 "$OUT/err404.json" "${BASE}/v1/sessions/s-nope/solution?k=1&d=1"
 ck 400 "$OUT/err400.json" "${BASE}/v1/sessions/${SESSION}/solution?k=abc&d=1"
