@@ -9,7 +9,7 @@ BENCH_TIME    ?= 3x
 BENCH_OUT     ?= bench.txt
 BENCH_JSON    ?= BENCH_3.json
 
-.PHONY: build test race bench benchgate fuzz fmt vet ci e2e serve
+.PHONY: build test race bench benchgate fuzz fmt vet lint qagcheck ci e2e serve
 
 build:
 	go build ./...
@@ -25,6 +25,20 @@ vet:
 
 fmt:
 	gofmt -l .
+
+# lint builds the repo's own analyzer suite (docs/ANALYZERS.md) and runs it
+# over every package via the go vet -vettool protocol. Violations of the
+# determinism/COW/concurrency invariants fail the build; deliberate
+# exceptions carry //qag:allow <analyzer> <reason>.
+lint:
+	go build -o bin/qagvet ./cmd/qagvet
+	go vet -vettool=$(CURDIR)/bin/qagvet ./...
+
+# qagcheck runs the test suite with the runtime assertion build tag: index
+# coverage ordering, codec capacity, and solution antichain checks panic on
+# violation instead of compiling to nothing.
+qagcheck:
+	go test -tags qagcheck ./...
 
 # bench runs the tracked benchmarks with allocation reporting and writes the
 # result to $(BENCH_OUT), the artifact CI uploads as the perf baseline, plus
@@ -53,4 +67,4 @@ e2e:
 serve:
 	go run ./cmd/qagviewd -addr :8080 -sample movielens
 
-ci: vet build test race
+ci: vet lint build test race

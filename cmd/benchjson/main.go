@@ -65,17 +65,18 @@ func parse(sc *bufio.Scanner) (map[string]Result, error) {
 			acc[name] = a
 		}
 		a.runs++
-		for unit, v := range fields {
-			switch unit {
-			case "ns/op":
-				a.ns += v
-			case "B/op":
-				a.bytes += v
-				a.nBytes++
-			case "allocs/op":
-				a.allocs += v
-				a.nAllocs++
-			}
+		// Direct lookups, not a range over fields: accumulation order across a
+		// map iteration is randomized, and these are float sums.
+		if v, ok := fields["ns/op"]; ok {
+			a.ns += v
+		}
+		if v, ok := fields["B/op"]; ok {
+			a.bytes += v
+			a.nBytes++
+		}
+		if v, ok := fields["allocs/op"]; ok {
+			a.allocs += v
+			a.nAllocs++
 		}
 	}
 	if err := sc.Err(); err != nil {

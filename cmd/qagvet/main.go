@@ -1,0 +1,61 @@
+// Command qagvet machine-checks qagview's determinism, copy-on-write, and
+// concurrency invariants (see docs/ANALYZERS.md). It speaks the
+// `go vet -vettool` protocol, so the usual invocation is:
+//
+//	go build -o bin/qagvet ./cmd/qagvet
+//	go vet -vettool=bin/qagvet ./...
+//
+// (`make lint` does exactly that.) As a convenience, running qagvet with
+// package patterns re-executes `go vet -vettool=<self>` on them:
+//
+//	bin/qagvet ./...
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"qagview/internal/analysis/suite"
+	"qagview/internal/analysis/unit"
+)
+
+func main() {
+	args := os.Args[1:]
+	if delegates(args) {
+		os.Exit(unit.Main("qagvet", args, suite.Analyzers, os.Stdout, os.Stderr))
+	}
+	// Package patterns: let the go command drive us as its vettool, which
+	// handles build setup, export data, and result caching.
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qagvet: cannot locate own executable: %v\n", err)
+		os.Exit(1)
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "qagvet: running go vet: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// delegates reports whether the arguments are a go-command vettool
+// invocation (-V=full, -flags, or a vet.cfg path) rather than user-supplied
+// package patterns.
+func delegates(args []string) bool {
+	for _, a := range args {
+		if a == "-V=full" || a == "--V=full" || a == "-flags" || a == "--flags" || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,224 @@
+// Package analysistest is a fixture-based test harness for qagvet analyzers,
+// mirroring golang.org/x/tools/go/analysis/analysistest on the standard
+// library only.
+//
+// A test points Run at a package directory under testdata/src. Every .go file
+// there is parsed and type-checked, the analyzer runs, and its diagnostics
+// are compared against `// want` comments in the fixtures:
+//
+//	sum += v // want `float accumulation`
+//	total := tally(m) // want `append` `float`
+//
+// Each quoted fragment is a regexp that must match the message of exactly one
+// diagnostic reported on that line; diagnostics with no matching want, and
+// wants with no matching diagnostic, fail the test. Suppression is exercised
+// the natural way: a fixture line carrying //qag:allow and no want comment
+// asserts the diagnostic is swallowed.
+//
+// Fixture packages are hermetic: imports resolve only against testdata/src,
+// never the real module or GOROOT. Analyzers match types by package-path
+// segment (analysis.IsNamed), so a fixture ships a few-line stub for each
+// dependency — a `sync` with just Pool and Mutex, a `lattice` with just
+// Cluster and Index — under testdata/src/<path>. This keeps the tests
+// independent of export data and makes the stand-in types explicit.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"qagview/internal/analysis"
+)
+
+// Run loads each named package from dir/src, applies the analyzer, and
+// checks diagnostics against the // want comments in the fixtures.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	for _, pkgPath := range pkgPaths {
+		t.Run(pkgPath, func(t *testing.T) {
+			t.Helper()
+			runOne(t, dir, a, pkgPath)
+		})
+	}
+}
+
+// TestData returns the absolute path of the calling package's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+func runOne(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &loader{root: filepath.Join(dir, "src"), fset: fset, pkgs: make(map[string]*loaded)}
+	lp, err := ld.load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture package %s: %v", pkgPath, err)
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, fset, lp.files, lp.pkg, lp.info)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+	}
+	check(t, fset, lp.files, diags)
+}
+
+// loaded is one type-checked fixture package.
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader resolves fixture packages by import path under root, recursively.
+type loader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*loaded
+}
+
+// Import implements types.Importer over testdata/src only, so fixtures are
+// hermetic.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	lp, err := ld.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return lp.pkg, nil
+}
+
+func (ld *loader) load(path string) (*loaded, error) {
+	if lp, ok := ld.pkgs[path]; ok {
+		return lp, nil
+	}
+	pdir := filepath.Join(ld.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(pdir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture import %q does not resolve under %s (fixtures are hermetic; add a stub package): %w", path, ld.root, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(pdir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture package %q has no .go files", path)
+	}
+	info := analysis.NewInfo()
+	tc := &types.Config{Importer: ld}
+	pkg, err := tc.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking fixture %q: %w", path, err)
+	}
+	lp := &loaded{pkg: pkg, files: files, info: info}
+	ld.pkgs[path] = lp
+	return lp, nil
+}
+
+var _ types.Importer = (*loader)(nil)
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// wantRE extracts the expectation list from a comment: `// want "re" ...`
+// with double-quoted or backquoted fragments.
+var (
+	wantPrefixRE   = regexp.MustCompile(`//\s*want\s+`)
+	wantFragmentRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+)
+
+// reporter is the slice of testing.T the matcher needs; tests of the harness
+// itself substitute a recorder.
+type reporter interface {
+	Errorf(format string, args ...any)
+}
+
+func collectWants(t reporter, fset *token.FileSet, files []*ast.File) []*want {
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				loc := wantPrefixRE.FindStringIndex(c.Text)
+				if loc == nil {
+					continue
+				}
+				rest := c.Text[loc[1]:]
+				frags := wantFragmentRE.FindAllString(rest, -1)
+				if len(frags) == 0 {
+					t.Errorf("%s: // want comment with no quoted expectations", fset.Position(c.Pos()))
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, frag := range frags {
+					body := frag[1 : len(frag)-1]
+					if frag[0] == '"' {
+						body = strings.ReplaceAll(body, `\"`, `"`)
+						body = strings.ReplaceAll(body, `\\`, `\`)
+					}
+					re, err := regexp.Compile(body)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %s: %v", pos, frag, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: frag})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// check matches diagnostics against wants one-to-one per line.
+func check(t reporter, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	wants := collectWants(t, fset, files)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", pos, d.Message, d.Analyzer)
+		}
+	}
+	var missing []string
+	for _, w := range wants {
+		if !w.matched {
+			missing = append(missing, fmt.Sprintf("%s:%d: no diagnostic matching %s", w.file, w.line, w.raw))
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		t.Errorf("%s", m)
+	}
+}

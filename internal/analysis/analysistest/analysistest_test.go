@@ -1,0 +1,94 @@
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"qagview/internal/analysis"
+)
+
+// recorder captures matcher failures so the harness's own guarantees — a
+// regression in diagnostics or suppression fails the test — are themselves
+// tested.
+type recorder struct{ msgs []string }
+
+func (r *recorder) Errorf(format string, args ...any) {
+	r.msgs = append(r.msgs, fmt.Sprintf(format, args...))
+}
+
+const fixture = `package p
+
+func f() {
+	println("one") // want ` + "`bad thing`" + `
+	println("two")
+}
+`
+
+func parseFixture(t *testing.T) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", fixture, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+// posOnLine returns a position on the given 1-based line of the fixture.
+func posOnLine(fset *token.FileSet, line int) token.Pos {
+	var pos token.Pos
+	fset.Iterate(func(f *token.File) bool {
+		pos = f.LineStart(line)
+		return false
+	})
+	return pos
+}
+
+func TestCheckMatches(t *testing.T) {
+	fset, files := parseFixture(t)
+	rec := &recorder{}
+	check(rec, fset, files, []analysis.Diagnostic{
+		{Analyzer: "demo", Pos: posOnLine(fset, 4), Message: "a bad thing happened"},
+	})
+	if len(rec.msgs) != 0 {
+		t.Fatalf("matching diagnostic reported errors: %v", rec.msgs)
+	}
+}
+
+func TestCheckFailsOnMissingDiagnostic(t *testing.T) {
+	fset, files := parseFixture(t)
+	rec := &recorder{}
+	check(rec, fset, files, nil)
+	if len(rec.msgs) != 1 || !strings.Contains(rec.msgs[0], "no diagnostic matching") {
+		t.Fatalf("want one missing-diagnostic error, got %v", rec.msgs)
+	}
+}
+
+func TestCheckFailsOnUnexpectedDiagnostic(t *testing.T) {
+	fset, files := parseFixture(t)
+	rec := &recorder{}
+	check(rec, fset, files, []analysis.Diagnostic{
+		{Analyzer: "demo", Pos: posOnLine(fset, 4), Message: "a bad thing happened"},
+		{Analyzer: "demo", Pos: posOnLine(fset, 5), Message: "noise on an unannotated line"},
+	})
+	if len(rec.msgs) != 1 || !strings.Contains(rec.msgs[0], "unexpected diagnostic") {
+		t.Fatalf("want one unexpected-diagnostic error, got %v", rec.msgs)
+	}
+}
+
+func TestCheckFailsOnWrongMessage(t *testing.T) {
+	fset, files := parseFixture(t)
+	rec := &recorder{}
+	check(rec, fset, files, []analysis.Diagnostic{
+		{Analyzer: "demo", Pos: posOnLine(fset, 4), Message: "an unrelated message"},
+	})
+	// The diagnostic matches no want (wrong message) and the want matches no
+	// diagnostic: both directions must fail.
+	if len(rec.msgs) != 2 {
+		t.Fatalf("want two errors (unexpected + missing), got %v", rec.msgs)
+	}
+}

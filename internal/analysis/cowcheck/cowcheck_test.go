@@ -1,0 +1,12 @@
+package cowcheck_test
+
+import (
+	"testing"
+
+	"qagview/internal/analysis/analysistest"
+	"qagview/internal/analysis/cowcheck"
+)
+
+func TestCowcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), cowcheck.Analyzer, "a", "lattice", "relation")
+}

@@ -1,0 +1,117 @@
+// Package ctxsweep machine-checks the eviction-cancellation contract of the
+// serving layer (PR 4): sweeps and replays are expensive, and a session can
+// be evicted (or superseded by a refresh) while its background work is
+// queued — so every loop in internal/precompute and internal/server that
+// dispatches replay/sweep work must observe its context between iterations,
+// otherwise a cancelled session keeps burning CPU until the whole grid
+// finishes.
+//
+// A loop (for/range) is flagged when its body calls a sweep/replay entry
+// point — RunD, runOne, Run, RunSweeper, Precompute, Summarize, or
+// buildStore — but contains no ctx.Err() or ctx.Done() use on a
+// context.Context value. The check is lexical: a select with a ctx.Done()
+// case, an `if ctx.Err() != nil` guard, or a worker closure that checks
+// ctx.Err() before each item all satisfy it.
+//
+// The analyzer only runs on packages named precompute or server, and skips
+// _test.go files; elsewhere loops of sweep calls are legitimate (benchmarks,
+// experiments, tests of the sweep itself — a test driving Run in a loop is
+// exercising the sweep, not serving an evictable session).
+package ctxsweep
+
+import (
+	"go/ast"
+	"strings"
+
+	"qagview/internal/analysis"
+)
+
+// Analyzer is the ctxsweep analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxsweep",
+	Doc:  "flags loops in precompute/server that dispatch sweep work without observing ctx cancellation",
+	Run:  run,
+}
+
+// sweepEntryPoints are the callee names that count as dispatching
+// replay/sweep work.
+var sweepEntryPoints = map[string]bool{
+	"RunD":       true,
+	"runOne":     true,
+	"Run":        true,
+	"RunSweeper": true,
+	"Precompute": true,
+	"Summarize":  true,
+	"buildStore": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PkgSegment(pass.Pkg, "precompute") && !analysis.PkgSegment(pass.Pkg, "server") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch l := n.(type) {
+			case *ast.ForStmt:
+				body = l.Body
+			case *ast.RangeStmt:
+				body = l.Body
+			default:
+				return true
+			}
+			name, dispatches := sweepCall(body)
+			if dispatches && !observesCtx(pass, body) {
+				pass.Reportf(n.Pos(), "loop dispatches sweep/replay work (%s) without observing ctx.Err()/ctx.Done() between iterations: an evicted or superseded session would keep computing; check the context each iteration (see precompute.runAll)", name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sweepCall reports whether the loop body calls a sweep entry point, and
+// which one.
+func sweepCall(body *ast.BlockStmt) (string, bool) {
+	found := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name := analysis.CalleeName(call); sweepEntryPoints[name] {
+				found = name
+				return false
+			}
+		}
+		return true
+	})
+	return found, found != ""
+}
+
+// observesCtx reports whether the loop body mentions ctx.Err or ctx.Done on
+// a context.Context value.
+func observesCtx(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	seen := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if seen {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Err" && sel.Sel.Name != "Done" {
+			return true
+		}
+		if analysis.IsContext(pass.TypeOf(sel.X)) {
+			seen = true
+			return false
+		}
+		return true
+	})
+	return seen
+}

@@ -1,0 +1,12 @@
+package ctxsweep_test
+
+import (
+	"testing"
+
+	"qagview/internal/analysis/analysistest"
+	"qagview/internal/analysis/ctxsweep"
+)
+
+func TestCtxsweep(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), ctxsweep.Analyzer, "precompute", "b")
+}

@@ -1,0 +1,11 @@
+// Package b is out of scope for ctxsweep (neither precompute nor server):
+// looping sweep entry points here — benchmarks, experiments — is legitimate.
+package b
+
+func Run(d int) {}
+
+func loops(ds []int) {
+	for _, d := range ds {
+		Run(d)
+	}
+}

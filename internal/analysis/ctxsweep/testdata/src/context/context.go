@@ -1,0 +1,15 @@
+// Package context is a hermetic fixture stub: ctxsweep matches
+// context.Context by package-path segment and the Err/Done selectors.
+package context
+
+type Context interface {
+	Err() error
+	Done() <-chan struct{}
+}
+
+type background struct{}
+
+func (background) Err() error            { return nil }
+func (background) Done() <-chan struct{} { return nil }
+
+func Background() Context { return background{} }

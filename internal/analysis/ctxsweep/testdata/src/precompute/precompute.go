@@ -1,0 +1,80 @@
+// Package precompute is an in-scope fixture (ctxsweep runs on packages whose
+// path ends in precompute or server): dispatch loops must observe their
+// context between iterations.
+package precompute
+
+import "context"
+
+type sweeper struct{}
+
+func (s *sweeper) RunD(d int) {}
+
+func Run(d int) {}
+
+func runOne(d int) {}
+
+func other(d int) {}
+
+// A dispatch loop that never looks at its context: an evicted session keeps
+// computing the whole grid.
+func blindLoop(ctx context.Context, s *sweeper, ds []int) {
+	for _, d := range ds { // want `loop dispatches sweep/replay work \(RunD\) without observing ctx`
+		s.RunD(d)
+	}
+}
+
+func blindFor(ctx context.Context, n int) {
+	for d := 0; d < n; d++ { // want `loop dispatches sweep/replay work \(Run\) without observing ctx`
+		Run(d)
+	}
+}
+
+// Checking ctx.Err each iteration satisfies the contract.
+func guardedErr(ctx context.Context, s *sweeper, ds []int) {
+	for _, d := range ds {
+		if ctx.Err() != nil {
+			return
+		}
+		s.RunD(d)
+	}
+}
+
+// So does a select on ctx.Done.
+func guardedDone(ctx context.Context, ds []int) {
+	for _, d := range ds {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		runOne(d)
+	}
+}
+
+// A worker closure that checks the context before each item also counts: the
+// check is lexical over the loop body.
+func guardedClosure(ctx context.Context, ds []int) {
+	for _, d := range ds {
+		func() {
+			if ctx.Err() != nil {
+				return
+			}
+			Run(d)
+		}()
+	}
+}
+
+// Loops of non-sweep work need no context.
+func harmless(ds []int) {
+	for _, d := range ds {
+		other(d)
+	}
+}
+
+// Suppression with a reason is honored.
+func allowed(ctx context.Context, ds []int) {
+	//qag:allow ctxsweep fixture: bounded to two iterations by construction
+	for _, d := range ds[:2] {
+		Run(d)
+	}
+}

@@ -1,0 +1,212 @@
+// Package detiter flags map iteration whose body performs order-sensitive
+// work — the classic killer of qagview's bit-identical-determinism promise
+// (every optimization since PR 2 is pinned by equivalence tests to a
+// reference implementation, and a single `for k := range m` feeding floats
+// or output slices in map order breaks that silently and flakily).
+//
+// Flagged inside `range` over a map:
+//
+//   - accumulation into a floating-point variable declared outside the loop
+//     (`sum += m[k]`, `sum = sum + v`): float addition is not associative,
+//     so the result depends on Go's randomized map order;
+//   - append to a slice declared outside the loop: the element order — and
+//     anything derived from it, cluster lists, solution output, JSON — is
+//     randomized.
+//
+// Not flagged (deterministic despite map order):
+//
+//   - integer/string accumulation (associative, order-independent);
+//   - writes keyed by the range key (`out[k] = f(v)`): each key is written
+//     independently;
+//   - sort-after-collect: an append whose slice is passed to a sort/slices
+//     call later in the same function is the canonical safe idiom and is
+//     recognized automatically.
+//
+// Deliberate exceptions carry `//qag:det <reason>` (or the long form
+// `//qag:allow detiter <reason>`).
+package detiter
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"qagview/internal/analysis"
+)
+
+// Analyzer is the detiter analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "detiter",
+	Doc:  "flags order-sensitive work (float accumulation, escaping appends) inside map iteration",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.FuncBodies(pass.Files, func(body *ast.BlockStmt) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !analysis.IsMap(pass.TypeOf(rs.X)) {
+				return true
+			}
+			checkMapRange(pass, body, rs)
+			return true
+		})
+	})
+	return nil
+}
+
+func checkMapRange(pass *analysis.Pass, fn *ast.BlockStmt, rs *ast.RangeStmt) {
+	keyObj := identObj(pass, rs.Key)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			checkAccumulate(pass, rs, keyObj, as.Lhs[0])
+		case token.ASSIGN, token.DEFINE:
+			for i, lhs := range as.Lhs {
+				if i < len(as.Rhs) {
+					if call, ok := as.Rhs[i].(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+						checkAppend(pass, fn, rs, keyObj, lhs)
+						continue
+					}
+					// x = x + v is accumulation spelled long-hand.
+					if bin, ok := as.Rhs[i].(*ast.BinaryExpr); ok && (bin.Op == token.ADD || bin.Op == token.SUB) && sameObject(pass, lhs, bin.X) {
+						checkAccumulate(pass, rs, keyObj, lhs)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkAccumulate flags compound float accumulation into state that outlives
+// the loop body.
+func checkAccumulate(pass *analysis.Pass, rs *ast.RangeStmt, keyObj types.Object, lhs ast.Expr) {
+	if !analysis.IsFloat(pass.TypeOf(lhs)) {
+		return
+	}
+	if keyedByRangeKey(pass, keyObj, lhs) || declaredWithin(pass, lhs, rs.Body) {
+		return
+	}
+	pass.Reportf(lhs.Pos(), "float accumulation in map-iteration order is nondeterministic (float addition is not associative); iterate a sorted key slice, or annotate //qag:det with why the order cannot matter")
+}
+
+// checkAppend flags appends to slices that outlive the loop body, unless the
+// slice is sorted later in the same function.
+func checkAppend(pass *analysis.Pass, fn *ast.BlockStmt, rs *ast.RangeStmt, keyObj types.Object, lhs ast.Expr) {
+	if keyedByRangeKey(pass, keyObj, lhs) || declaredWithin(pass, lhs, rs.Body) {
+		return
+	}
+	root := analysis.RootIdent(lhs)
+	if root == nil {
+		return
+	}
+	obj := pass.ObjectOf(root)
+	if obj == nil {
+		return
+	}
+	if sortedAfter(pass, fn, rs.End(), obj) {
+		return
+	}
+	pass.Reportf(lhs.Pos(), "append in map-iteration order collects elements in nondeterministic order; sort the slice after the loop (sort-after-collect), iterate sorted keys, or annotate //qag:det with why the order cannot matter")
+}
+
+// keyedByRangeKey reports whether lhs is an index expression keyed by the
+// loop's range key (out[k] = ... writes each key independently).
+func keyedByRangeKey(pass *analysis.Pass, keyObj types.Object, lhs ast.Expr) bool {
+	if keyObj == nil {
+		return false
+	}
+	ix, ok := lhs.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ix.Index.(*ast.Ident)
+	return ok && pass.ObjectOf(id) == keyObj
+}
+
+// declaredWithin reports whether the root identifier of e is declared inside
+// node's source range (loop-local state cannot leak iteration order).
+func declaredWithin(pass *analysis.Pass, e ast.Expr, node ast.Node) bool {
+	root := analysis.RootIdent(e)
+	if root == nil {
+		return true // no root identifier: not trackable, stay quiet
+	}
+	obj := pass.ObjectOf(root)
+	if obj == nil {
+		return true
+	}
+	return obj.Pos() >= node.Pos() && obj.Pos() <= node.End()
+}
+
+// sortedAfter reports whether a sort/slices-package call mentioning obj
+// appears after pos in the function body — the sort-after-collect idiom.
+func sortedAfter(pass *analysis.Pass, fn *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.ObjectOf(pkgID).(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if root := analysis.RootIdent(arg); root != nil && pass.ObjectOf(root) == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := pass.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}
+
+func sameObject(pass *analysis.Pass, a, b ast.Expr) bool {
+	ia, ok := a.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	ib, ok := b.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	oa := pass.ObjectOf(ia)
+	return oa != nil && oa == pass.ObjectOf(ib)
+}
+
+func identObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.ObjectOf(id)
+}

@@ -1,0 +1,12 @@
+package detiter_test
+
+import (
+	"testing"
+
+	"qagview/internal/analysis/analysistest"
+	"qagview/internal/analysis/detiter"
+)
+
+func TestDetiter(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), detiter.Analyzer, "a")
+}

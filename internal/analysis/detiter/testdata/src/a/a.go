@@ -1,0 +1,135 @@
+// Package a exercises detiter: order-sensitive work inside map iteration.
+package a
+
+import "sort"
+
+// Float accumulation across map order: the classic violation.
+func sumFloats(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation in map-iteration order`
+	}
+	return sum
+}
+
+// Long-hand spelling of the same accumulation.
+func sumLonghand(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum = sum + v // want `float accumulation in map-iteration order`
+	}
+	return sum
+}
+
+// Integer accumulation is associative: order-free, not flagged.
+func sumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Append collecting in map order, never sorted: flagged.
+func collectKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append in map-iteration order`
+	}
+	return keys
+}
+
+// Sort-after-collect: the canonical safe idiom, recognized automatically.
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sort.Slice with a comparator also counts as sorting the collected slice.
+func collectSortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// Writes keyed by the range key touch each key independently: order-free.
+func keyedWrites(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+		out[k] += 1
+	}
+	return out
+}
+
+// Loop-local state cannot leak iteration order.
+func loopLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var batch []int
+		batch = append(batch, vs...)
+		n += len(batch)
+	}
+	return n
+}
+
+// Range over a slice is ordered; nothing to check.
+func sliceRange(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+// The //qag:det shorthand suppresses detiter when it carries a reason.
+func allowedShort(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //qag:det fixture: values are exact powers of two, addition is order-free
+	}
+	return sum
+}
+
+// The long form works too, on the line above.
+func allowedLong(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//qag:allow detiter fixture: consumer sorts before use
+		out = append(out, k)
+	}
+	return out
+}
+
+// The wildcard allows every analyzer.
+func allowedAll(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //qag:allow all fixture: wildcard suppression
+	}
+	return sum
+}
+
+// An allow without a reason is itself a finding, and suppresses nothing.
+func malformedDet(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //qag:det // want `malformed //qag:det` `float accumulation`
+	}
+	return sum
+}
+
+func malformedAllow(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //qag:allow detiter // want `malformed //qag:allow` `float accumulation`
+	}
+	return sum
+}

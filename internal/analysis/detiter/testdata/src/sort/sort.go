@@ -1,0 +1,10 @@
+// Package sort is a hermetic fixture stub: detiter recognizes the
+// sort-after-collect idiom by the imported package path ("sort"/"slices"),
+// so the stub only needs the call shapes.
+package sort
+
+func Slice(x any, less func(i, j int) bool) {}
+
+func Strings(x []string) {}
+
+func Ints(x []int) {}

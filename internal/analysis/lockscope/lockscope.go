@@ -1,0 +1,207 @@
+// Package lockscope machine-checks the serving layer's locking discipline:
+// internal/server keeps its mutex critical sections small and non-blocking
+// (the session manager's mu guards map/LRU state only; everything slow —
+// query execution, sweeps, snapshot IO, response encoding — happens outside
+// the lock). A blocking operation under a held sync.Mutex/RWMutex turns one
+// slow client or one stuck build into a server-wide stall, because every
+// handler funnels through those locks.
+//
+// Within internal/server, while a mutex is lexically held — between
+// x.Lock()/x.RLock() and the matching x.Unlock()/x.RUnlock(), or to the end
+// of the function when the unlock is deferred — the analyzer flags:
+//
+//   - channel sends and receives;
+//   - selects without a default clause (blocking selects);
+//   - sync.WaitGroup.Wait and sync.Cond.Wait;
+//   - response encoding: json.Encoder.Encode and http.ResponseWriter
+//     Write/WriteHeader.
+//
+// The scan is lexical and per-block: a lock taken inside a branch is
+// considered held only within that branch, and nested function literals are
+// scanned as their own functions, not as part of the enclosing critical
+// section (a `go func` under a lock does not block the lock holder).
+// Deliberate blocking under a lock — e.g. the refresh path waiting out a
+// superseded build while holding the per-session refresh mutex — must carry
+// //qag:allow lockscope <reason>.
+package lockscope
+
+import (
+	"go/ast"
+	"go/token"
+
+	"qagview/internal/analysis"
+)
+
+// Analyzer is the lockscope analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockscope",
+	Doc:  "flags blocking operations (channel ops, Wait, response encoding) while a mutex is held in internal/server",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PkgSegment(pass.Pkg, "server") {
+		return nil
+	}
+	analysis.FuncBodies(pass.Files, func(body *ast.BlockStmt) {
+		scanStmts(pass, body.List, 0)
+		// Nested closures run on their own schedule (go, defer, callbacks):
+		// each is scanned as an independent function with no lock held.
+		ast.Inspect(body, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				scanStmts(pass, fl.Body.List, 0)
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// scanStmts walks one statement list in source order, tracking how many
+// mutexes are lexically held. Nested statements inherit the current count;
+// lock-state changes inside them do not escape (a branch that locks and
+// unlocks is self-contained; a branch that leaks a lock is beyond a lexical
+// check).
+func scanStmts(pass *analysis.Pass, stmts []ast.Stmt, held int) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				switch lockOp(pass, call) {
+				case opLock:
+					held++
+					continue
+				case opUnlock:
+					if held > 0 {
+						held--
+					}
+					continue
+				}
+			}
+		case *ast.DeferStmt:
+			// defer x.Unlock() keeps the lock held to function end — which is
+			// exactly what the lexical counter already says. The deferred call
+			// itself runs at exit, not inside this critical section.
+			continue
+		}
+		if held > 0 {
+			reportBlocking(pass, stmt)
+		}
+		scanNested(pass, stmt, held)
+	}
+}
+
+// scanNested recurses into the statement lists nested inside stmt.
+func scanNested(pass *analysis.Pass, stmt ast.Stmt, held int) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		scanStmts(pass, s.List, held)
+	case *ast.IfStmt:
+		scanStmts(pass, s.Body.List, held)
+		if s.Else != nil {
+			scanNested(pass, s.Else, held)
+		}
+	case *ast.ForStmt:
+		scanStmts(pass, s.Body.List, held)
+	case *ast.RangeStmt:
+		scanStmts(pass, s.Body.List, held)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			scanStmts(pass, c.(*ast.CaseClause).Body, held)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			scanStmts(pass, c.(*ast.CaseClause).Body, held)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			scanStmts(pass, c.(*ast.CommClause).Body, held)
+		}
+	case *ast.LabeledStmt:
+		scanStmts(pass, []ast.Stmt{s.Stmt}, held)
+	}
+}
+
+// reportBlocking flags blocking operations in the expressions directly
+// attached to stmt. Nested statement lists are owned by scanNested, and
+// function literals by the independent closure scan, so both are skipped.
+func reportBlocking(pass *analysis.Pass, stmt ast.Stmt) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.BlockStmt, *ast.FuncLit, *ast.CaseClause, *ast.CommClause:
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(v.Pos(), "channel send while a mutex is held: a full channel stalls every caller contending for the lock; hand off outside the critical section")
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				pass.Reportf(v.Pos(), "channel receive while a mutex is held: the lock stays held until a sender shows up; receive outside the critical section")
+			}
+		case *ast.SelectStmt:
+			if !hasDefault(v) {
+				pass.Reportf(v.Pos(), "blocking select while a mutex is held; add a default case or select outside the critical section")
+			}
+			return false
+		case *ast.CallExpr:
+			checkBlockingCall(pass, v)
+		}
+		return true
+	})
+}
+
+func checkBlockingCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	t := pass.TypeOf(sel.X)
+	switch sel.Sel.Name {
+	case "Wait":
+		if analysis.IsNamed(t, "sync", "WaitGroup") || analysis.IsNamed(t, "sync", "Cond") {
+			pass.Reportf(call.Pos(), "%s.Wait while a mutex is held: waits of unbounded duration belong outside the critical section", analysis.Deref(t).String())
+		}
+	case "Encode":
+		if analysis.IsNamed(t, "json", "Encoder") {
+			pass.Reportf(call.Pos(), "json.Encoder.Encode while a mutex is held: encoding to a slow client stalls the lock; snapshot under the lock, encode outside it")
+		}
+	case "Write", "WriteHeader":
+		if analysis.IsNamed(t, "http", "ResponseWriter") {
+			pass.Reportf(call.Pos(), "http response write while a mutex is held: a slow client stalls the lock; copy what you need and write after unlocking")
+		}
+	}
+}
+
+type lockKind int
+
+const (
+	opNone lockKind = iota
+	opLock
+	opUnlock
+)
+
+// lockOp classifies a call as a mutex lock/unlock operation.
+func lockOp(pass *analysis.Pass, call *ast.CallExpr) lockKind {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return opNone
+	}
+	t := pass.TypeOf(sel.X)
+	if !analysis.IsNamed(t, "sync", "Mutex") && !analysis.IsNamed(t, "sync", "RWMutex") {
+		return opNone
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return opLock
+	case "Unlock", "RUnlock":
+		return opUnlock
+	}
+	return opNone
+}
+
+func hasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

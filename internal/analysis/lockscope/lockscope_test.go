@@ -1,0 +1,12 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"qagview/internal/analysis/analysistest"
+	"qagview/internal/analysis/lockscope"
+)
+
+func TestLockscope(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lockscope.Analyzer, "server", "c")
+}

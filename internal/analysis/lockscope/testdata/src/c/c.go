@@ -1,0 +1,16 @@
+// Package c is out of scope for lockscope (not a server package): other
+// layers may block under their own locks when the design calls for it.
+package c
+
+import "sync"
+
+type box struct {
+	mu    sync.Mutex
+	ready chan struct{}
+}
+
+func (b *box) wait() {
+	b.mu.Lock()
+	<-b.ready
+	b.mu.Unlock()
+}

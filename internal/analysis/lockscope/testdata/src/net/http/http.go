@@ -1,0 +1,10 @@
+// Package http is a hermetic fixture stub for net/http.
+package http
+
+type Header map[string][]string
+
+type ResponseWriter interface {
+	Header() Header
+	Write([]byte) (int, error)
+	WriteHeader(statusCode int)
+}

@@ -1,0 +1,134 @@
+// Package server is the in-scope fixture for lockscope: critical sections in
+// the serving layer must be small and non-blocking.
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+type manager struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	wg    sync.WaitGroup
+	ready chan struct{}
+	state int
+}
+
+// Channel operations under a held mutex.
+func (m *manager) sendUnderLock(ch chan int) {
+	m.mu.Lock()
+	ch <- m.state // want `channel send while a mutex is held`
+	m.mu.Unlock()
+}
+
+func (m *manager) recvUnderLock() {
+	m.mu.Lock()
+	<-m.ready // want `channel receive while a mutex is held`
+	m.mu.Unlock()
+}
+
+// A deferred unlock holds the lock to the end of the function.
+func (m *manager) deferredUnlock() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.state++
+	<-m.ready // want `channel receive while a mutex is held`
+}
+
+// After a paired unlock the section is over.
+func (m *manager) afterUnlock(ch chan int) {
+	m.mu.Lock()
+	m.state++
+	m.mu.Unlock()
+	ch <- m.state
+	<-m.ready
+}
+
+// A read lock is still a lock: writers queue behind a stalled RLock holder.
+func (m *manager) readLock() {
+	m.rw.RLock()
+	<-m.ready // want `channel receive while a mutex is held`
+	m.rw.RUnlock()
+}
+
+// Blocking select vs. non-blocking poll.
+func (m *manager) selects(ch chan int) {
+	m.mu.Lock()
+	select { // want `blocking select while a mutex is held`
+	case <-ch:
+	case m.ready <- struct{}{}:
+	}
+	select {
+	case <-ch:
+	default:
+	}
+	m.mu.Unlock()
+}
+
+// Waits of unbounded duration.
+func (m *manager) waits() {
+	m.mu.Lock()
+	m.wg.Wait() // want `Wait while a mutex is held`
+	m.mu.Unlock()
+}
+
+// Encoding to a client while holding the lock.
+func (m *manager) encode(w http.ResponseWriter) {
+	enc := json.NewEncoder(w)
+	m.mu.Lock()
+	w.WriteHeader(200)  // want `http response write while a mutex is held`
+	enc.Encode(m.state) // want `json.Encoder.Encode while a mutex is held`
+	m.mu.Unlock()
+}
+
+// The right shape: snapshot under the lock, write after unlocking.
+func (m *manager) snapshotThenWrite(w http.ResponseWriter) {
+	m.mu.Lock()
+	snap := m.state
+	m.mu.Unlock()
+	w.WriteHeader(200)
+	json.NewEncoder(w).Encode(snap)
+}
+
+// A goroutine spawned under the lock runs on its own schedule: its channel
+// ops do not hold up the lock holder.
+func (m *manager) spawn(ch chan int) {
+	m.mu.Lock()
+	go func() {
+		ch <- 1
+		<-m.ready
+	}()
+	m.mu.Unlock()
+}
+
+// A lock scoped to a branch does not leak past it.
+func (m *manager) branchScoped(cond bool, ch chan int) {
+	if cond {
+		m.mu.Lock()
+		m.state++
+		m.mu.Unlock()
+	}
+	ch <- m.state
+}
+
+// Held state reaches into nested branches and switch/select case bodies.
+func (m *manager) nested(cond bool, mode int, ch chan int) {
+	m.mu.Lock()
+	if cond {
+		switch mode {
+		case 1:
+			ch <- m.state // want `channel send while a mutex is held`
+		}
+	}
+	m.mu.Unlock()
+}
+
+// Suppression: a justified wait is honored.
+func (m *manager) allowedWait() {
+	m.mu.Lock()
+	//qag:allow lockscope fixture: ready is closed by a cancelled build, promptly
+	<-m.ready
+	m.mu.Unlock()
+}

@@ -1,0 +1,240 @@
+// Package poolhygiene machine-checks the sync.Pool contract of the pooled
+// replay state introduced in PR 2: replay buffers (worksets, coverage
+// bitmaps, pair buffers, LCA memos) are recycled across (k, D) replays, so
+// a value must be re-initialized on every checkout path before use, and must
+// never be touched after it has been returned to the pool (another goroutine
+// may already own it).
+//
+// Rules, per function (including its nested closures and defers):
+//
+//  1. Put without reset: `pool.Put(x)` (pool of type sync.Pool, x an
+//     identifier) requires a reset-like call — a method whose name starts
+//     with Reset/Init/Adopt/Clear (any case) — lexically before the Put (or
+//     anywhere in the function when the Put itself is deferred), on
+//     x itself, on a value reachable from x (st.ws.resetFrom(...)), or on an
+//     alias of one (ws := st.ws; ws.resetFrom(...)). The canonical sweeper
+//     shape — checkout, resetFrom, deferred Put — passes; recycling a value
+//     no path re-initialized does not.
+//
+//  2. Use after Put: once `pool.Put(x)` executes, any later use of x or its
+//     aliases in the same (innermost) function is flagged — the value may
+//     concurrently belong to another goroutine. A Put inside a deferred
+//     closure only constrains the remainder of that closure.
+//
+// Aliases are tracked by a lexical union of simple assignments
+// (`a := b.field`, `a := v.(*T)`), which is exactly the shape the sweeper
+// code uses; exotic flows should be restructured or annotated with
+// //qag:allow poolhygiene <reason>.
+package poolhygiene
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"qagview/internal/analysis"
+)
+
+// Analyzer is the poolhygiene analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolhygiene",
+	Doc:  "flags sync.Pool.Put without a prior reset and uses of pooled values after Put",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.FuncBodies(pass.Files, func(body *ast.BlockStmt) {
+		checkFunc(pass, body)
+	})
+	return nil
+}
+
+// aliasGroups unions objects connected by simple assignments so that a
+// pooled value, its fields, and their local names are treated as one value.
+type aliasGroups struct {
+	parent map[types.Object]types.Object
+}
+
+func (g *aliasGroups) find(o types.Object) types.Object {
+	for {
+		p, ok := g.parent[o]
+		if !ok || p == o {
+			return o
+		}
+		o = p
+	}
+}
+
+func (g *aliasGroups) union(a, b types.Object) {
+	ra, rb := g.find(a), g.find(b)
+	if ra != rb {
+		g.parent[ra] = rb
+	}
+}
+
+func (g *aliasGroups) same(a, b types.Object) bool {
+	return a != nil && b != nil && g.find(a) == g.find(b)
+}
+
+func collectAliases(pass *analysis.Pass, body *ast.BlockStmt) *aliasGroups {
+	g := &aliasGroups{parent: make(map[types.Object]types.Object)}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			lo := pass.ObjectOf(id)
+			root := analysis.RootIdent(unwrap(as.Rhs[i]))
+			if lo == nil || root == nil {
+				continue
+			}
+			if ro := pass.ObjectOf(root); ro != nil {
+				g.union(lo, ro)
+			}
+		}
+		return true
+	})
+	return g
+}
+
+// unwrap strips type assertions and parens so RootIdent sees through
+// `st := v.(*replayState)`.
+func unwrap(e ast.Expr) ast.Expr {
+	for {
+		switch v := e.(type) {
+		case *ast.TypeAssertExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return e
+		}
+	}
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	aliases := collectAliases(pass, body)
+
+	// Put calls that are themselves deferred (`defer pool.Put(st)`) run at
+	// function exit: lexically-later uses are fine, and a reset anywhere in
+	// the function happens before the Put does.
+	deferred := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+		}
+		return true
+	})
+
+	// Reset-like calls: (pos, root object of the receiver chain).
+	type resetCall struct {
+		pos  ast.Node
+		root types.Object
+	}
+	var resets []resetCall
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !resetLike(sel.Sel.Name) {
+			return true
+		}
+		if root := analysis.RootIdent(sel.X); root != nil {
+			if ro := pass.ObjectOf(root); ro != nil {
+				resets = append(resets, resetCall{pos: call, root: ro})
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, ok := analysis.MethodCall(call, "Put")
+		if !ok || !analysis.IsNamed(pass.TypeOf(recv), "sync", "Pool") || len(call.Args) != 1 {
+			return true
+		}
+		arg, ok := unwrap(call.Args[0]).(*ast.Ident)
+		if !ok {
+			return true // Put of a fresh composite (pool seeding): zero value is its reset state
+		}
+		argObj := pass.ObjectOf(arg)
+		if argObj == nil {
+			return true
+		}
+		resetSeen := false
+		for _, r := range resets {
+			if (deferred[call] || r.pos.Pos() < call.Pos()) && aliases.same(r.root, argObj) {
+				resetSeen = true
+				break
+			}
+		}
+		if !resetSeen {
+			pass.Reportf(call.Pos(), "sync.Pool.Put of %s with no prior reset-like call (Reset/Init/Adopt/Clear...) on it in this function: recycled replay state must be re-initialized on every checkout path", arg.Name)
+		}
+		if !deferred[call] {
+			checkUseAfterPut(pass, body, aliases, call, argObj, arg.Name)
+		}
+		return true
+	})
+}
+
+// checkUseAfterPut flags reads of the pooled value after the Put, scoped to
+// the innermost function literal containing the Put (a deferred Put only
+// constrains the rest of the deferred closure, not the enclosing body that
+// lexically follows it).
+func checkUseAfterPut(pass *analysis.Pass, body *ast.BlockStmt, aliases *aliasGroups, put *ast.CallExpr, obj types.Object, name string) {
+	scope := innermostFunc(body, put)
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl != scope {
+			// A nested closure defined after the Put does not necessarily run
+			// after it; leave it to its own analysis.
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Pos() <= put.End() {
+			return true
+		}
+		if o := pass.ObjectOf(id); aliases.same(o, obj) {
+			pass.Reportf(id.Pos(), "use of %s after it was returned to the pool (Put at %s): the value may already belong to another goroutine", name, pass.Fset.Position(put.Pos()))
+		}
+		return true
+	})
+}
+
+// innermostFunc returns the body of the innermost function literal that
+// contains pos, or the outer body itself.
+func innermostFunc(body *ast.BlockStmt, at ast.Node) ast.Node {
+	var best ast.Node = body
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			if fl.Body.Pos() <= at.Pos() && at.End() <= fl.Body.End() {
+				best = fl.Body
+			}
+		}
+		return true
+	})
+	return best
+}
+
+func resetLike(name string) bool {
+	l := strings.ToLower(name)
+	for _, prefix := range [...]string{"reset", "init", "adopt", "clear"} {
+		if strings.HasPrefix(l, prefix) {
+			return true
+		}
+	}
+	return false
+}

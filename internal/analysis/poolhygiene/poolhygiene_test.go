@@ -1,0 +1,12 @@
+package poolhygiene_test
+
+import (
+	"testing"
+
+	"qagview/internal/analysis/analysistest"
+	"qagview/internal/analysis/poolhygiene"
+)
+
+func TestPoolhygiene(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), poolhygiene.Analyzer, "a")
+}

@@ -1,0 +1,86 @@
+// Package a exercises poolhygiene: pooled replay-state checkout/return
+// discipline, modeled on the sweeper's shapes.
+package a
+
+import "sync"
+
+type workset struct{ rows []int }
+
+func (ws *workset) resetFrom(base *workset) { ws.rows = ws.rows[:0] }
+
+func (ws *workset) adoptIndex(ix int) { ws.rows = ws.rows[:0] }
+
+type state struct{ ws *workset }
+
+type sweeper struct {
+	pool sync.Pool
+	base *workset
+}
+
+// The canonical checkout shape: get, reset through an alias, deferred return.
+func (sw *sweeper) canonical() {
+	v := sw.pool.Get()
+	st := v.(*state)
+	ws := st.ws
+	ws.resetFrom(sw.base)
+	defer sw.pool.Put(st)
+	use(ws)
+}
+
+// Reset via a different reset-like method (the warm-start shape).
+func (sw *sweeper) warm(ix int) {
+	st := sw.pool.Get().(*state)
+	st.ws.adoptIndex(ix)
+	sw.pool.Put(st)
+}
+
+// Recycling without any reset: the next checkout inherits stale replay state.
+func (sw *sweeper) noReset() {
+	st := sw.pool.Get().(*state)
+	use(st.ws)
+	sw.pool.Put(st) // want `no prior reset-like call`
+}
+
+// Seeding the pool with a fresh composite is fine: zero value is reset.
+func (sw *sweeper) seed() {
+	sw.pool.Put(&state{ws: &workset{}})
+}
+
+// Touching the value after returning it: it may belong to another goroutine.
+func (sw *sweeper) useAfter() int {
+	st := sw.pool.Get().(*state)
+	st.ws.resetFrom(sw.base)
+	sw.pool.Put(st)
+	return len(st.ws.rows) // want `use of st after it was returned to the pool`
+}
+
+// A deferred Put only constrains the rest of the deferred closure; the body
+// that lexically follows the defer statement still owns the value.
+func (sw *sweeper) deferredPut() {
+	st := sw.pool.Get().(*state)
+	st.ws.resetFrom(sw.base)
+	defer func() {
+		sw.pool.Put(st)
+	}()
+	use(st.ws)
+}
+
+// But inside the closure, after the Put the value is gone.
+func (sw *sweeper) useAfterInClosure() {
+	st := sw.pool.Get().(*state)
+	st.ws.resetFrom(sw.base)
+	defer func() {
+		sw.pool.Put(st)
+		use(st.ws) // want `use of st after it was returned to the pool`
+	}()
+	use(st.ws)
+}
+
+// Suppression with a reason is honored.
+func (sw *sweeper) allowed() {
+	st := sw.pool.Get().(*state)
+	//qag:allow poolhygiene fixture: st is reset inside use before reuse
+	sw.pool.Put(st)
+}
+
+func use(ws *workset) {}

@@ -1,0 +1,14 @@
+// Package sync is a hermetic fixture stub: poolhygiene matches sync.Pool by
+// package-path segment and method shape.
+package sync
+
+type Pool struct{ New func() any }
+
+func (p *Pool) Get() any {
+	if p.New != nil {
+		return p.New()
+	}
+	return nil
+}
+
+func (p *Pool) Put(x any) {}

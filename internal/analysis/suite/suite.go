@@ -1,0 +1,23 @@
+// Package suite registers the qagvet analyzers. It is a separate package
+// (rather than a list inside internal/analysis) because every analyzer
+// imports internal/analysis for the framework types.
+package suite
+
+import (
+	"qagview/internal/analysis"
+	"qagview/internal/analysis/cowcheck"
+	"qagview/internal/analysis/ctxsweep"
+	"qagview/internal/analysis/detiter"
+	"qagview/internal/analysis/lockscope"
+	"qagview/internal/analysis/poolhygiene"
+)
+
+// Analyzers is the full qagvet suite, in the order diagnostics are
+// attributed. See docs/ANALYZERS.md for the invariant behind each.
+var Analyzers = []*analysis.Analyzer{
+	detiter.Analyzer,
+	cowcheck.Analyzer,
+	poolhygiene.Analyzer,
+	ctxsweep.Analyzer,
+	lockscope.Analyzer,
+}

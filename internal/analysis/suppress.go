@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression comments:
+//
+//	//qag:allow <analyzer> <reason>   suppress <analyzer> on this or next line
+//	//qag:det <reason>                shorthand for //qag:allow detiter ...
+//
+// The reason is mandatory: an allow that cannot say why it is safe is a
+// comment rot hazard, so the framework reports it instead of honoring it.
+
+const (
+	allowPrefix = "//qag:allow"
+	detPrefix   = "//qag:det"
+)
+
+// suppressions indexes allow comments by (file, line, analyzer).
+type suppressions struct {
+	fset *token.FileSet
+	// byLine maps filename -> line -> analyzer names allowed there.
+	byLine    map[string]map[int][]string
+	malformed []Diagnostic
+}
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{fset: fset, byLine: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				s.record(c)
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressions) record(c *ast.Comment) {
+	text := strings.TrimSpace(c.Text)
+	// Cut at an embedded "//" so trailing annotations in the same comment
+	// (notably analysistest's `// want ...` expectations) are not swallowed
+	// into the reason.
+	if i := strings.Index(text[2:], "//"); i >= 0 {
+		text = strings.TrimSpace(text[:i+2])
+	}
+	var name, rest string
+	switch {
+	case strings.HasPrefix(text, allowPrefix):
+		fields := strings.Fields(strings.TrimPrefix(text, allowPrefix))
+		if len(fields) < 2 {
+			s.malformed = append(s.malformed, Diagnostic{
+				Analyzer: "qagallow",
+				Pos:      c.Pos(),
+				Message:  "malformed //qag:allow: want \"//qag:allow <analyzer> <reason>\"",
+			})
+			return
+		}
+		name, rest = fields[0], strings.Join(fields[1:], " ")
+	case strings.HasPrefix(text, detPrefix) && !strings.HasPrefix(text, detPrefix+"i"):
+		rest = strings.TrimSpace(strings.TrimPrefix(text, detPrefix))
+		if rest == "" {
+			s.malformed = append(s.malformed, Diagnostic{
+				Analyzer: "qagallow",
+				Pos:      c.Pos(),
+				Message:  "malformed //qag:det: want \"//qag:det <reason>\"",
+			})
+			return
+		}
+		name = "detiter"
+	default:
+		return
+	}
+	_ = rest // the reason is required but not machine-interpreted
+	pos := s.fset.Position(c.Pos())
+	lines := s.byLine[pos.Filename]
+	if lines == nil {
+		lines = make(map[int][]string)
+		s.byLine[pos.Filename] = lines
+	}
+	lines[pos.Line] = append(lines[pos.Line], name)
+}
+
+// suppressed reports whether a diagnostic of the named analyzer at pos is
+// covered by an allow comment on the same line or the line directly above.
+func (s *suppressions) suppressed(analyzer string, pos token.Position) bool {
+	lines, ok := s.byLine[pos.Filename]
+	if !ok {
+		return false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}

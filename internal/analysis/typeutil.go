@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Type and package predicates shared by the analyzers. Analyzers match types
+// by (package path tail, type name) rather than full import path so that
+// analysistest fixtures can declare stand-in packages ("lattice",
+// "relation") without importing the real module.
+
+// PkgSegment reports whether the final "/"-separated segment of pkg's import
+// path equals seg. PkgSegment(nil, ...) is false.
+func PkgSegment(pkg *types.Package, seg string) bool {
+	if pkg == nil {
+		return false
+	}
+	p := pkg.Path()
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		p = p[i+1:]
+	}
+	return p == seg
+}
+
+// Deref strips one level of pointer.
+func Deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// IsNamed reports whether t (possibly behind a pointer) is the named type
+// pkgSeg.name, matching the package by its final path segment.
+func IsNamed(t types.Type, pkgSeg, name string) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := Deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && PkgSegment(obj.Pkg(), pkgSeg)
+}
+
+// IsFloat reports whether t's underlying type is a floating-point basic type.
+func IsFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// IsMap reports whether t's underlying type is a map.
+func IsMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// IsContext reports whether t is context.Context.
+func IsContext(t types.Type) bool { return IsNamed(t, "context", "Context") }
+
+// MethodCall matches call as a method invocation x.name(...) and returns the
+// receiver expression. The receiver's type is not checked here.
+func MethodCall(call *ast.CallExpr, name string) (recv ast.Expr, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// CalleeName returns the bare name of the called function or method: "Foo"
+// for Foo(...), pkg.Foo(...), and x.Foo(...); "" for indirect calls.
+func CalleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// RootIdent returns the identifier at the base of a selector/index/slice
+// chain: x for x.a.b[i].c, nil when the base is not an identifier.
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.CallExpr:
+			e = v.Fun
+		default:
+			return nil
+		}
+	}
+}
+
+// FuncBodies walks every function body in the files: declarations and
+// literals, each visited exactly once with its body.
+func FuncBodies(files []*ast.File, fn func(body *ast.BlockStmt)) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					fn(d.Body)
+				}
+				return false // literals inside are walked via the body below
+			case *ast.FuncLit:
+				fn(d.Body)
+				return false
+			}
+			return true
+		})
+	}
+}

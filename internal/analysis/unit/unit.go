@@ -1,0 +1,194 @@
+// Package unit implements the `go vet -vettool` command-line protocol for
+// the qagvet analyzer suite, using only the standard library (the canonical
+// implementation is golang.org/x/tools/go/analysis/unitchecker; this module
+// is dependency-free by policy).
+//
+// The go command drives a vettool like so:
+//
+//   - `tool -V=full` must print "<name> version devel ... buildID=<id>";
+//     the id fingerprints the tool for the build cache, so it hashes the
+//     executable — rebuilding qagvet with changed analyzers invalidates
+//     cached vet results.
+//   - `tool -flags` must print a JSON array describing the tool's flags
+//     (qagvet has none, so it prints []).
+//   - `tool <dir>/vet.cfg` analyzes one package: the JSON config carries the
+//     file list and the export-data files of every dependency, so the
+//     package is type-checked with the gc importer, no source re-resolution
+//     needed. Diagnostics go to stderr as "file:line:col: message [name]"
+//     and make the tool exit 2, which fails `go vet`.
+//
+// A facts file is written to cfg.VetxOutput so the go command can cache the
+// run; qagvet's analyzers are fact-free, so the file is a fixed placeholder
+// and dependency packages (cfg.VetxOnly) return without type-checking.
+package unit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"qagview/internal/analysis"
+)
+
+// Config is the JSON schema of the go command's vet.cfg (a subset of
+// cmd/go/internal/work.vetConfig; unknown fields are ignored).
+type Config struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	ImportMap    map[string]string
+	PackageFile  map[string]string
+	Standard     map[string]bool
+	PackageVetx  map[string]string
+	VetxOnly     bool
+	VetxOutput   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main runs the protocol against os.Args-style arguments (excluding the
+// program name) and returns the process exit code.
+func Main(progname string, args []string, analyzers []*analysis.Analyzer, stdout, stderr io.Writer) int {
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			fmt.Fprintf(stdout, "%s version devel buildID=%s\n", progname, selfID())
+			return 0
+		case arg == "-flags" || arg == "--flags":
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		}
+	}
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fmt.Fprintf(stderr, "%s: expected a single vet.cfg argument (this tool implements the go vet -vettool protocol; run it via `go vet -vettool=%s ./...`)\n", progname, progname)
+		return 1
+	}
+	diags, err := runConfig(args[0], analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", progname, err)
+		return 1
+	}
+	if len(diags.list) == 0 {
+		return 0
+	}
+	for _, d := range diags.list {
+		fmt.Fprintf(stderr, "%s: %s [%s]\n", diags.fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return 2
+}
+
+type result struct {
+	fset *token.FileSet
+	list []analysis.Diagnostic
+}
+
+func runConfig(cfgFile string, analyzers []*analysis.Analyzer) (result, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return result{}, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return result{}, fmt.Errorf("parsing %s: %w", cfgFile, err)
+	}
+	// The facts file must exist for the go command to cache this run. qagvet
+	// keeps no facts, so dependencies need no analysis at all.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("qagvet: no facts\n"), 0o666); err != nil {
+			return result{}, err
+		}
+	}
+	if cfg.VetxOnly {
+		return result{}, nil
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return result{}, nil
+			}
+			return result{}, err
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		// Map source-level import paths through vendoring/test-variant
+		// canonicalization, then open the dependency's export data.
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", buildArch()),
+		Error:    func(error) {}, // the returned error carries the first one
+	}
+	if cfg.GoVersion != "" {
+		tc.GoVersion = cfg.GoVersion
+	}
+	info := analysis.NewInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return result{}, nil
+		}
+		return result{}, fmt.Errorf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+	diags, err := analysis.Run(analyzers, fset, files, pkg, info)
+	if err != nil {
+		return result{}, err
+	}
+	return result{fset: fset, list: diags}, nil
+}
+
+func buildArch() string {
+	if v := os.Getenv("GOARCH"); v != "" {
+		return v
+	}
+	return runtime.GOARCH
+}
+
+// selfID fingerprints the running executable so the go command's vet result
+// cache is keyed on the analyzer suite actually built into the binary.
+func selfID() string {
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err := os.Open(exe); err == nil {
+			defer f.Close()
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				return fmt.Sprintf("%x", h.Sum(nil)[:16])
+			}
+		}
+	}
+	// Degraded mode: still a valid buildID, just not content-addressed.
+	return fmt.Sprintf("unknown-%s", filepath.Base(os.Args[0]))
+}

@@ -1,0 +1,54 @@
+package unit
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// The go command probes a vettool with -V=full before anything else; the
+// reply must carry a buildID so vet results are cached against the tool
+// build.
+func TestProtocolVersion(t *testing.T) {
+	var out bytes.Buffer
+	code := Main("qagvet", []string{"-V=full"}, nil, &out, io.Discard)
+	if code != 0 {
+		t.Fatalf("-V=full exit = %d, want 0", code)
+	}
+	got := out.String()
+	if !strings.HasPrefix(got, "qagvet version ") || !strings.Contains(got, "buildID=") {
+		t.Fatalf("-V=full output %q lacks name/buildID", got)
+	}
+}
+
+// -flags must answer with a JSON flag list; qagvet has none.
+func TestProtocolFlags(t *testing.T) {
+	var out bytes.Buffer
+	code := Main("qagvet", []string{"-flags"}, nil, &out, io.Discard)
+	if code != 0 {
+		t.Fatalf("-flags exit = %d, want 0", code)
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Fatalf("-flags output = %q, want []", out.String())
+	}
+}
+
+func TestRejectsNonProtocolArgs(t *testing.T) {
+	var errb bytes.Buffer
+	code := Main("qagvet", []string{"./..."}, nil, io.Discard, &errb)
+	if code != 1 {
+		t.Fatalf("bad args exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "vet.cfg") {
+		t.Fatalf("error %q does not mention the protocol", errb.String())
+	}
+}
+
+func TestMissingConfigFile(t *testing.T) {
+	var errb bytes.Buffer
+	code := Main("qagvet", []string{"/nonexistent/vet.cfg"}, nil, io.Discard, &errb)
+	if code != 1 {
+		t.Fatalf("missing cfg exit = %d, want 1", code)
+	}
+}

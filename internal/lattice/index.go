@@ -398,6 +398,7 @@ func buildIndex(s *Space, L int, optimized bool, opts []BuildOption) (*Index, Bu
 		}
 		stats.MapMs = msSince(t1)
 	}
+	assertIndexInvariants(ix, "build")
 	return ix, stats, nil
 }
 

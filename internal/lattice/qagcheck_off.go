@@ -1,0 +1,6 @@
+//go:build !qagcheck
+
+package lattice
+
+// Without -tags qagcheck the assertions compile to nothing.
+func assertIndexInvariants(ix *Index, origin string) {}

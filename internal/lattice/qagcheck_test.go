@@ -1,0 +1,42 @@
+//go:build qagcheck
+
+package lattice
+
+import (
+	"strings"
+	"testing"
+
+	"qagview/internal/pattern"
+)
+
+// Only meaningful under -tags qagcheck: the assertions must actually fire on
+// a corrupt index, otherwise the CI job checks nothing.
+func TestQagcheckCatchesUnsortedCoverage(t *testing.T) {
+	ix := &Index{
+		Space:    &Space{Tuples: make([]pattern.Pattern, 3)},
+		Clusters: []Cluster{{Cov: []int32{2, 1}}},
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("assertIndexInvariants accepted an unsorted coverage list")
+		}
+		if !strings.Contains(r.(string), "not strictly ascending") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	assertIndexInvariants(ix, "test")
+}
+
+func TestQagcheckCatchesOutOfRangeCoverage(t *testing.T) {
+	ix := &Index{
+		Space:    &Space{Tuples: make([]pattern.Pattern, 2)},
+		Clusters: []Cluster{{Cov: []int32{0, 5}}},
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("assertIndexInvariants accepted out-of-range coverage")
+		}
+	}()
+	assertIndexInvariants(ix, "test")
+}

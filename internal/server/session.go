@@ -335,6 +335,7 @@ func (m *sessionManager) freshen(db *db, s *session) (*sessionView, error) {
 		// the build goroutine to let go of the maintainer (Live is
 		// single-writer; ready closes when the build returns).
 		cur.build.cancel()
+		//qag:allow lockscope deliberate: refreshMu serializes refreshes per session, and the superseded build was just cancelled, so ready closes promptly; waiting here is what guarantees Live's single-writer contract
 		<-cur.build.ready
 		if _, _, err := s.live.Refresh(res); err != nil {
 			m.countRefresh(&m.stats.RefreshErrors)

@@ -1,0 +1,6 @@
+//go:build !qagcheck
+
+package summarize
+
+// Without -tags qagcheck the assertions compile to nothing.
+func assertSolutionInvariants(sol *Solution) {}

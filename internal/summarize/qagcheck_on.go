@@ -1,0 +1,29 @@
+//go:build qagcheck
+
+package summarize
+
+import "fmt"
+
+// Built with -tags qagcheck, every assembled Solution is verified to be an
+// antichain — no output cluster's pattern covers another's — with its
+// covered-tuple list strictly ascending. These are the structural halves of
+// Definition 4.1 that every algorithm maintains by construction; a violation
+// is a bug in the greedy/incremental machinery, so it panics rather than
+// returning an error.
+func assertSolutionInvariants(sol *Solution) {
+	if sol == nil {
+		return
+	}
+	for i, a := range sol.Clusters {
+		for j, b := range sol.Clusters {
+			if i != j && a.Pat.Covers(b.Pat) {
+				panic(fmt.Sprintf("qagcheck: solution is not an antichain: cluster %v covers cluster %v", a.Pat, b.Pat))
+			}
+		}
+	}
+	for i := 1; i < len(sol.Covered); i++ {
+		if sol.Covered[i-1] >= sol.Covered[i] {
+			panic(fmt.Sprintf("qagcheck: solution covered list not strictly ascending at offset %d (%d then %d)", i, sol.Covered[i-1], sol.Covered[i]))
+		}
+	}
+}

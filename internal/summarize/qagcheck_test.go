@@ -1,0 +1,39 @@
+//go:build qagcheck
+
+package summarize
+
+import (
+	"strings"
+	"testing"
+
+	"qagview/internal/lattice"
+	"qagview/internal/pattern"
+)
+
+// Only meaningful under -tags qagcheck: a comparable pair in the output must
+// trip the antichain assertion.
+func TestQagcheckCatchesComparableClusters(t *testing.T) {
+	parent := &lattice.Cluster{Pat: pattern.Pattern{pattern.Star, 1}}
+	child := &lattice.Cluster{Pat: pattern.Pattern{0, 1}}
+	sol := &Solution{Clusters: []*lattice.Cluster{parent, child}}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("assertSolutionInvariants accepted a comparable pair")
+		}
+		if !strings.Contains(r.(string), "antichain") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	assertSolutionInvariants(sol)
+}
+
+func TestQagcheckCatchesUnsortedCovered(t *testing.T) {
+	sol := &Solution{Covered: []int32{3, 1}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("assertSolutionInvariants accepted an unsorted covered list")
+		}
+	}()
+	assertSolutionInvariants(sol)
+}

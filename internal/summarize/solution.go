@@ -79,6 +79,7 @@ func newSolution(ix *lattice.Index, clusters []*lattice.Cluster) *Solution {
 	sort.SliceStable(sol.Clusters, func(a, b int) bool {
 		return sol.Clusters[a].Avg() > sol.Clusters[b].Avg()
 	})
+	assertSolutionInvariants(sol)
 	return sol
 }
 
