@@ -5,13 +5,15 @@
 //
 // Usage:
 //
-//	benchcmp -baseline bench_baseline.json -candidate BENCH_3.json [-threshold 0.30]
+//	benchcmp -baseline bench_baseline.json -candidate BENCH_7.json [-threshold 0.30]
 //
 // Benchmarks present in only one file are reported but never fail the gate
 // (benchmarks come and go across PRs); the gate only guards benchmarks both
-// sides know about. CI boxes are noisy, so the default threshold is
-// deliberately loose (30%) — the gate exists to catch algorithmic
-// regressions (a lost fast path, an alloc-per-op explosion), not 5% jitter.
+// sides know about, and prints refresh instructions when the candidate has
+// benchmarks the baseline lacks, so new entries don't silently stay
+// unguarded. CI boxes are noisy, so the default threshold is deliberately
+// loose (30%) — the gate exists to catch algorithmic regressions (a lost
+// fast path, an alloc-per-op explosion), not 5% jitter.
 package main
 
 import (
@@ -33,7 +35,7 @@ type result struct {
 
 func main() {
 	baselinePath := flag.String("baseline", "bench_baseline.json", "committed baseline JSON")
-	candidatePath := flag.String("candidate", "BENCH_3.json", "freshly measured JSON")
+	candidatePath := flag.String("candidate", "BENCH_7.json", "freshly measured JSON")
 	threshold := flag.Float64("threshold", 0.30, "relative regression that fails the gate (0.30 = +30%)")
 	flag.Parse()
 
@@ -47,19 +49,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
 		os.Exit(2)
 	}
-	report, regressed := compare(baseline, candidate, *threshold)
+	report, extras, regressed := compare(baseline, candidate, *threshold)
 	fmt.Print(report)
+	if len(extras) > 0 {
+		fmt.Print(refreshNote(extras, *candidatePath, *baselinePath))
+	}
 	if regressed {
 		fmt.Printf(`
 benchcmp: FAIL — at least one benchmark regressed more than %.0f%% against %s.
 If the regression is intentional (e.g. the benchmark now does more work),
 refresh the baseline and commit it with a justification in the PR:
 
-    make bench && cp BENCH_3.json bench_baseline.json
+    make bench && cp %s %s
 
 Otherwise, find the hot path you lost: compare the failing benchmark's
 profile between this branch and main (go test -bench <name> -cpuprofile).
-`, *threshold*100, *baselinePath)
+`, *threshold*100, *baselinePath, *candidatePath, *baselinePath)
 		os.Exit(1)
 	}
 	fmt.Println("benchcmp: OK — no benchmark regressed past the threshold")
@@ -80,9 +85,10 @@ func load(path string) (map[string]result, error) {
 	return out, nil
 }
 
-// compare renders the per-benchmark delta table and reports whether any
-// shared benchmark regressed past the threshold on ns/op or allocs/op.
-func compare(baseline, candidate map[string]result, threshold float64) (string, bool) {
+// compare renders the per-benchmark delta table, lists the candidate-only
+// benchmarks (sorted; never a failure), and reports whether any shared
+// benchmark regressed past the threshold on ns/op or allocs/op.
+func compare(baseline, candidate map[string]result, threshold float64) (string, []string, bool) {
 	names := make([]string, 0, len(baseline))
 	for name := range baseline {
 		names = append(names, name)
@@ -118,17 +124,32 @@ func compare(baseline, candidate map[string]result, threshold float64) (string, 
 			fmt.Fprintf(&sb, "  %s\n", line)
 		}
 	}
-	extra := make([]string, 0)
+	extras := make([]string, 0)
 	for name := range candidate {
 		if _, ok := baseline[name]; !ok {
-			extra = append(extra, name)
+			extras = append(extras, name)
 		}
 	}
-	sort.Strings(extra)
-	for _, name := range extra {
-		fmt.Fprintf(&sb, "+ %-45s new benchmark (not in baseline; add it on the next refresh)\n", name)
+	sort.Strings(extras)
+	for _, name := range extras {
+		fmt.Fprintf(&sb, "+ %-45s new benchmark (not in baseline)\n", name)
 	}
-	return sb.String(), regressed
+	return sb.String(), extras, regressed
+}
+
+// refreshNote explains how to bring candidate-only benchmarks under the
+// gate. Informational only: new benchmarks never fail the run.
+func refreshNote(extras []string, candidatePath, baselinePath string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `
+benchcmp: note — %d benchmark(s) are not in the baseline and are NOT yet
+guarded by the regression gate: %s.
+To start tracking them, refresh the baseline from a trusted CI run of this
+branch (same runner class as the gate) and commit it:
+
+    make bench && cp %s %s
+`, len(extras), strings.Join(extras, ", "), candidatePath, baselinePath)
+	return sb.String()
 }
 
 // exceeds reports whether cand regressed past the threshold relative to

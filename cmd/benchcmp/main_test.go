@@ -20,7 +20,7 @@ func TestCompareDetectsRegressions(t *testing.T) {
 			"BenchmarkSteady": {NsPerOp: 4000, AllocsPerOp: fp(50), Runs: 3},  // improved
 			"BenchmarkNew":    {NsPerOp: 7, Runs: 1},
 		}
-		report, regressed := compare(baseline, candidate, 0.30)
+		report, _, regressed := compare(baseline, candidate, 0.30)
 		if regressed {
 			t.Fatalf("clean run flagged as regression:\n%s", report)
 		}
@@ -34,7 +34,7 @@ func TestCompareDetectsRegressions(t *testing.T) {
 			"BenchmarkFast":   {NsPerOp: 1400, AllocsPerOp: fp(100), Runs: 3}, // +40%
 			"BenchmarkSteady": {NsPerOp: 5000, AllocsPerOp: fp(50), Runs: 3},
 		}
-		report, regressed := compare(baseline, candidate, 0.30)
+		report, _, regressed := compare(baseline, candidate, 0.30)
 		if !regressed {
 			t.Fatalf("+40%% ns/op not flagged:\n%s", report)
 		}
@@ -48,7 +48,7 @@ func TestCompareDetectsRegressions(t *testing.T) {
 			"BenchmarkFast":   {NsPerOp: 1000, AllocsPerOp: fp(200), Runs: 3}, // 2x allocs
 			"BenchmarkSteady": {NsPerOp: 5000, AllocsPerOp: fp(50), Runs: 3},
 		}
-		_, regressed := compare(baseline, candidate, 0.30)
+		_, _, regressed := compare(baseline, candidate, 0.30)
 		if !regressed {
 			t.Fatal("2x allocs/op not flagged")
 		}
@@ -57,7 +57,7 @@ func TestCompareDetectsRegressions(t *testing.T) {
 	t.Run("tiny alloc jitter tolerated", func(t *testing.T) {
 		base := map[string]result{"BenchmarkTiny": {NsPerOp: 100, AllocsPerOp: fp(2), Runs: 3}}
 		candidate := map[string]result{"BenchmarkTiny": {NsPerOp: 100, AllocsPerOp: fp(3), Runs: 3}}
-		if _, regressed := compare(base, candidate, 0.30); regressed {
+		if _, _, regressed := compare(base, candidate, 0.30); regressed {
 			t.Fatal("2 -> 3 allocs/op must not fail the gate")
 		}
 	})
@@ -67,8 +67,50 @@ func TestCompareDetectsRegressions(t *testing.T) {
 			"BenchmarkFast":   {NsPerOp: 1300, AllocsPerOp: fp(100), Runs: 3}, // exactly +30%
 			"BenchmarkSteady": {NsPerOp: 5000, AllocsPerOp: fp(50), Runs: 3},
 		}
-		if _, regressed := compare(baseline, candidate, 0.30); regressed {
+		if _, _, regressed := compare(baseline, candidate, 0.30); regressed {
 			t.Fatal("exactly +30% must pass a 30% threshold")
 		}
 	})
+}
+
+// TestCompareReportsCandidateOnly pins the new-benchmark path: entries
+// present only in the candidate are returned (sorted) and reported, never
+// fail the gate, and the printed note carries refresh instructions naming
+// the actual file paths.
+func TestCompareReportsCandidateOnly(t *testing.T) {
+	baseline := map[string]result{
+		"BenchmarkSteady": {NsPerOp: 5000, AllocsPerOp: fp(50), Runs: 3},
+	}
+	candidate := map[string]result{
+		"BenchmarkSteady": {NsPerOp: 5100, AllocsPerOp: fp(50), Runs: 3},
+		"BenchmarkZNew":   {NsPerOp: 7, Runs: 1},
+		"BenchmarkANew":   {NsPerOp: 9, Runs: 1},
+	}
+	report, extras, regressed := compare(baseline, candidate, 0.30)
+	if regressed {
+		t.Fatalf("candidate-only benchmarks must not fail the gate:\n%s", report)
+	}
+	if len(extras) != 2 || extras[0] != "BenchmarkANew" || extras[1] != "BenchmarkZNew" {
+		t.Fatalf("extras = %v, want sorted [BenchmarkANew BenchmarkZNew]", extras)
+	}
+	for _, name := range extras {
+		if !strings.Contains(report, "+ "+name) {
+			t.Fatalf("report does not list %s as new:\n%s", name, report)
+		}
+	}
+	note := refreshNote(extras, "BENCH_7.json", "bench_baseline.json")
+	for _, want := range []string{"BenchmarkANew", "BenchmarkZNew", "cp BENCH_7.json bench_baseline.json", "NOT yet"} {
+		if !strings.Contains(note, want) {
+			t.Fatalf("refresh note missing %q:\n%s", want, note)
+		}
+	}
+}
+
+// TestCompareNoExtras checks the empty-extras shape (no note triggered).
+func TestCompareNoExtras(t *testing.T) {
+	m := map[string]result{"BenchmarkSteady": {NsPerOp: 5000, Runs: 3}}
+	_, extras, _ := compare(m, m, 0.30)
+	if len(extras) != 0 {
+		t.Fatalf("extras = %v, want none", extras)
+	}
 }

@@ -15,6 +15,11 @@
 //
 //	qagviewd -addr :8080 -sample movielens
 //	qagviewd -addr :8080 -snapshots /var/lib/qagviewd -max-sessions 128 -max-mb 512
+//	qagviewd -addr :8080 -sample tpcds -execpar 4
+//
+// -execpar bounds the morsel worker pool of the vectorized query executor
+// used by session builds, refreshes, and /v1/queries (0 = GOMAXPROCS);
+// results are bit-identical at every setting.
 //
 // See README.md ("Serving", "Live tables") for the endpoint table and curl
 // walkthroughs.
@@ -51,11 +56,13 @@ func run() error {
 	snapshots := flag.String("snapshots", "", "directory for precompute-store snapshots (empty = disabled)")
 	maxSessions := flag.Int("max-sessions", 64, "maximum live sessions (LRU beyond)")
 	maxMB := flag.Int64("max-mb", 256, "session-cache byte budget in MiB (0 = unlimited)")
+	execPar := flag.Int("execpar", 0, "morsel workers per query execution (0 = GOMAXPROCS); results are identical at any setting")
 	flag.Parse()
 
 	cfg := server.Config{
-		MaxSessions: *maxSessions,
-		SnapshotDir: *snapshots,
+		MaxSessions:     *maxSessions,
+		SnapshotDir:     *snapshots,
+		ExecParallelism: *execPar,
 	}
 	if *maxMB == 0 {
 		cfg.MaxCacheBytes = -1

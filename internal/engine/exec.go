@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"context"
+	"encoding/binary"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
-	"strings"
 
 	"qagview/internal/relation"
 )
@@ -29,18 +31,18 @@ type Result struct {
 // N returns the number of result tuples.
 func (r *Result) N() int { return len(r.Rows) }
 
-// aggState accumulates one group's aggregate and HAVING aggregates.
+// aggState accumulates one group's aggregate and HAVING aggregates in the
+// reference executor.
 type aggState struct {
-	row     []string
-	sum     float64
-	cnt     int64
-	min     float64
-	max     float64
-	hsum    []float64
-	hcnt    []int64
-	hmin    []float64
-	hmax    []float64
-	touched bool
+	row  []string
+	sum  float64
+	cnt  int64
+	min  float64
+	max  float64
+	hsum []float64
+	hcnt []int64
+	hmin []float64
+	hmax []float64
 }
 
 // Catalog resolves table names for Execute. The root qagview.DB type
@@ -50,35 +52,110 @@ type Catalog interface {
 	Table(name string) (*relation.Relation, error)
 }
 
+// execConfig collects execution options.
+type execConfig struct {
+	par        int
+	ctx        context.Context
+	reference  bool
+	stringKeys bool
+}
+
+// ExecOption customizes query execution. The zero configuration runs the
+// vectorized executor with GOMAXPROCS morsel workers; every option produces
+// bit-identical results (see the equivalence tests), so options tune cost,
+// never output.
+type ExecOption func(*execConfig)
+
+// ExecParallelism bounds the morsel worker pool of the vectorized executor
+// (default GOMAXPROCS). n <= 1 runs the same pipeline on the calling
+// goroutine; output is bit-identical at every setting.
+func ExecParallelism(n int) ExecOption {
+	return func(c *execConfig) { c.par = n }
+}
+
+// ExecContext attaches a context to the execution: cancellation is observed
+// between morsels and Execute returns ctx.Err(). Serving layers use it to
+// abandon scans for evicted sessions.
+func ExecContext(ctx context.Context) ExecOption {
+	return func(c *execConfig) { c.ctx = ctx }
+}
+
+// ExecReference forces the row-at-a-time reference executor that the
+// vectorized pipeline is proven bit-identical to, for ablations and
+// differential tests.
+func ExecReference() ExecOption {
+	return func(c *execConfig) { c.reference = true }
+}
+
+// ExecStringKeys forces the vectorized executor's string-key fallback over
+// the packed uint64 group keys (the fallback engages automatically when the
+// group columns' dictionary widths exceed 64 bits), for ablations; output is
+// identical either way.
+func ExecStringKeys() ExecOption {
+	return func(c *execConfig) { c.stringKeys = true }
+}
+
 // Execute runs a parsed query against the catalog.
-func Execute(cat Catalog, q *Query) (*Result, error) {
+func Execute(cat Catalog, q *Query, opts ...ExecOption) (*Result, error) {
 	rel, err := cat.Table(q.Table)
 	if err != nil {
 		return nil, err
 	}
-	return executeOn(rel, q)
+	cfg := execConfig{par: runtime.GOMAXPROCS(0)}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	p, err := planQuery(rel, q)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.reference {
+		return executeRef(p)
+	}
+	return executeVec(p, cfg)
 }
 
 // ExecuteSQL parses and runs sql against the catalog.
-func ExecuteSQL(cat Catalog, sql string) (*Result, error) {
+func ExecuteSQL(cat Catalog, sql string, opts ...ExecOption) (*Result, error) {
 	q, err := Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return Execute(cat, q)
+	return Execute(cat, q, opts...)
 }
 
-func executeOn(rel *relation.Relation, q *Query) (*Result, error) {
-	// Resolve columns.
-	groupCols := make([]*relation.Column, len(q.GroupBy))
+// predBind is a WHERE conjunct resolved against a column, ready for either
+// executor to compile (closures for the reference, batch kernels for the
+// vectorized pipeline).
+type predBind struct {
+	col *relation.Column
+	op  CmpOp
+	lit Literal
+}
+
+// execPlan is a query resolved and validated against one relation: both
+// executors run from the same plan, so they accept and reject exactly the
+// same queries with the same errors.
+type execPlan struct {
+	rel        *relation.Relation
+	q          *Query
+	groupCols  []*relation.Column
+	aggCol     *relation.Column   // nil for count(*)
+	havingCols []*relation.Column // nil entries are count(*)
+	preds      []predBind
+}
+
+// planQuery resolves the query's columns and validates types.
+func planQuery(rel *relation.Relation, q *Query) (*execPlan, error) {
+	p := &execPlan{rel: rel, q: q}
+	p.groupCols = make([]*relation.Column, len(q.GroupBy))
 	for i, name := range q.GroupBy {
 		c, ok := rel.ColumnByName(name)
 		if !ok {
 			return nil, fmt.Errorf("engine: unknown group-by column %q in table %q", name, rel.Name())
 		}
-		groupCols[i] = c
+		p.groupCols[i] = c
 	}
-	var aggCol *relation.Column
 	if q.Agg.Arg != "*" {
 		c, ok := rel.ColumnByName(q.Agg.Arg)
 		if !ok {
@@ -87,15 +164,30 @@ func executeOn(rel *relation.Relation, q *Query) (*Result, error) {
 		if c.Kind == relation.KindString && q.Agg.Fn != AggCount {
 			return nil, fmt.Errorf("engine: aggregate %s over text column %q", q.Agg.Fn, c.Name)
 		}
-		aggCol = c
+		p.aggCol = c
 	} else if q.Agg.Fn != AggCount {
 		return nil, fmt.Errorf("engine: %s(*) is not supported", q.Agg.Fn)
 	}
-	preds, err := compilePredicates(rel, q.Where)
-	if err != nil {
-		return nil, err
+	for _, pr := range q.Where {
+		c, ok := rel.ColumnByName(pr.Column)
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown WHERE column %q in table %q", pr.Column, rel.Name())
+		}
+		if pr.Lit.IsNum {
+			if c.Kind == relation.KindString {
+				return nil, fmt.Errorf("engine: numeric comparison against text column %q", c.Name)
+			}
+		} else {
+			if c.Kind != relation.KindString {
+				return nil, fmt.Errorf("engine: string comparison against %s column %q", c.Kind, c.Name)
+			}
+			if pr.Op != OpEq && pr.Op != OpNe {
+				return nil, fmt.Errorf("engine: operator %s is not supported for text column %q", pr.Op, c.Name)
+			}
+		}
+		p.preds = append(p.preds, predBind{col: c, op: pr.Op, lit: pr.Lit})
 	}
-	havingCols := make([]*relation.Column, len(q.Having))
+	p.havingCols = make([]*relation.Column, len(q.Having))
 	for i, h := range q.Having {
 		if h.Agg.Arg == "*" {
 			if h.Agg.Fn != AggCount {
@@ -110,20 +202,32 @@ func executeOn(rel *relation.Relation, q *Query) (*Result, error) {
 		if c.Kind == relation.KindString && h.Agg.Fn != AggCount {
 			return nil, fmt.Errorf("engine: aggregate %s over text column %q in HAVING", h.Agg.Fn, c.Name)
 		}
-		havingCols[i] = c
+		p.havingCols[i] = c
 	}
 	if q.OrderBy != "" && q.OrderBy != q.Agg.Alias {
 		return nil, fmt.Errorf("engine: ORDER BY %q must reference the aggregate alias %q", q.OrderBy, q.Agg.Alias)
 	}
+	return p, nil
+}
 
-	// Group.
+// executeRef is the row-at-a-time reference executor: per-row predicate
+// closures, a rendered string key per row, and a Go map of group states. The
+// vectorized pipeline (executeVec) is proven bit-identical to it; it stays as
+// the differential-testing oracle, per the playbook of PRs 2 and 3.
+func executeRef(p *execPlan) (*Result, error) {
+	q := p.q
+	preds := compilePredicates(p.preds)
+
+	// Group. Keys are length-prefixed rendered values: a plain separator
+	// byte would merge distinct groups whose values contain the separator
+	// (see TestExecuteGroupKeyNulSeparator).
 	groups := make(map[string]*aggState)
 	var order []string // group keys in first-seen order, for determinism
-	var sb strings.Builder
-	for row := 0; row < rel.NumRows(); row++ {
+	var kb []byte      // reused key scratch
+	for row := 0; row < p.rel.NumRows(); row++ {
 		match := true
-		for _, p := range preds {
-			if !p(row) {
+		for _, pr := range preds {
+			if !pr(row) {
 				match = false
 				break
 			}
@@ -131,16 +235,16 @@ func executeOn(rel *relation.Relation, q *Query) (*Result, error) {
 		if !match {
 			continue
 		}
-		sb.Reset()
-		for _, c := range groupCols {
-			sb.WriteString(c.StringAt(row))
-			sb.WriteByte(0)
+		kb = kb[:0]
+		for _, c := range p.groupCols {
+			s := c.StringAt(row)
+			kb = binary.AppendUvarint(kb, uint64(len(s)))
+			kb = append(kb, s...)
 		}
-		key := sb.String()
-		st, ok := groups[key]
+		st, ok := groups[string(kb)]
 		if !ok {
-			vals := make([]string, len(groupCols))
-			for i, c := range groupCols {
+			vals := make([]string, len(p.groupCols))
+			for i, c := range p.groupCols {
 				vals[i] = c.StringAt(row)
 			}
 			st = &aggState{
@@ -156,12 +260,13 @@ func executeOn(rel *relation.Relation, q *Query) (*Result, error) {
 				st.hmin[i] = math.Inf(1)
 				st.hmax[i] = math.Inf(-1)
 			}
+			key := string(kb)
 			groups[key] = st
 			order = append(order, key)
 		}
 		st.cnt++
-		if aggCol != nil {
-			v, err := aggCol.FloatAt(row)
+		if p.aggCol != nil {
+			v, err := p.aggCol.FloatAt(row)
 			if err != nil {
 				return nil, err
 			}
@@ -172,14 +277,13 @@ func executeOn(rel *relation.Relation, q *Query) (*Result, error) {
 			if v > st.max {
 				st.max = v
 			}
-			st.touched = true
 		}
 		for i := range q.Having {
-			if havingCols[i] == nil {
+			if p.havingCols[i] == nil {
 				st.hcnt[i]++
 				continue
 			}
-			v, err := havingCols[i].FloatAt(row)
+			v, err := p.havingCols[i].FloatAt(row)
 			if err != nil {
 				return nil, err
 			}
@@ -212,9 +316,14 @@ func executeOn(rel *relation.Relation, q *Query) (*Result, error) {
 		res.Rows = append(res.Rows, st.row)
 		res.Vals = append(res.Vals, finalize(q.Agg.Fn, st.sum, st.cnt, st.min, st.max))
 	}
+	orderAndLimit(q, res)
+	return res, nil
+}
 
-	// ORDER BY and LIMIT. Sorting is stable so first-seen order breaks ties
-	// deterministically.
+// orderAndLimit applies ORDER BY and LIMIT in place. Sorting is stable so
+// first-seen group order breaks ties deterministically; both executors
+// produce that order, so their sorted output is bit-identical too.
+func orderAndLimit(q *Query, res *Result) {
 	if q.OrderBy != "" {
 		idx := make([]int, len(res.Rows))
 		for i := range idx {
@@ -237,7 +346,6 @@ func executeOn(rel *relation.Relation, q *Query) (*Result, error) {
 		res.Rows = res.Rows[:q.Limit]
 		res.Vals = res.Vals[:q.Limit]
 	}
-	return res, nil
 }
 
 func finalize(fn AggFunc, sum float64, cnt int64, min, max float64) float64 {
@@ -279,42 +387,29 @@ func cmpFloat(a float64, op CmpOp, b float64) bool {
 	}
 }
 
-// compilePredicates turns WHERE conjuncts into per-row closures bound to the
-// relation's columns. Numeric literals compare numerically against numeric
-// columns; string literals compare against the rendered value of any column.
-func compilePredicates(rel *relation.Relation, preds []Predicate) ([]func(int) bool, error) {
+// compilePredicates turns resolved WHERE conjuncts into per-row closures.
+// Numeric literals compare numerically against numeric columns; string
+// literals compare against string columns.
+func compilePredicates(preds []predBind) []func(int) bool {
 	out := make([]func(int) bool, 0, len(preds))
 	for _, p := range preds {
-		c, ok := rel.ColumnByName(p.Column)
-		if !ok {
-			return nil, fmt.Errorf("engine: unknown WHERE column %q in table %q", p.Column, rel.Name())
-		}
 		p := p
-		if p.Lit.IsNum {
-			if c.Kind == relation.KindString {
-				return nil, fmt.Errorf("engine: numeric comparison against text column %q", c.Name)
-			}
-			col := c
+		if p.lit.IsNum {
+			col := p.col
 			out = append(out, func(row int) bool {
 				v, _ := col.FloatAt(row)
-				return cmpFloat(v, p.Op, p.Lit.Num)
+				return cmpFloat(v, p.op, p.lit.Num)
 			})
 			continue
 		}
-		if c.Kind != relation.KindString {
-			return nil, fmt.Errorf("engine: string comparison against %s column %q", c.Kind, c.Name)
-		}
-		if p.Op != OpEq && p.Op != OpNe {
-			return nil, fmt.Errorf("engine: operator %s is not supported for text column %q", p.Op, c.Name)
-		}
-		col := c
+		col := p.col
 		out = append(out, func(row int) bool {
-			eq := col.Str[row] == p.Lit.Str
-			if p.Op == OpEq {
+			eq := col.Str[row] == p.lit.Str
+			if p.op == OpEq {
 				return eq
 			}
 			return !eq
 		})
 	}
-	return out, nil
+	return out
 }

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"math"
+	"reflect"
 	"testing"
 
 	"qagview/internal/relation"
@@ -84,5 +86,71 @@ func FuzzParse(f *testing.F) {
 		_, _ = Execute(fuzzCatalog{rel}, q)
 		// The combined entry point must agree with Parse on acceptance.
 		_, _ = ExecuteSQL(fuzzCatalog{rel}, sql)
+	})
+}
+
+// FuzzExec is the differential fuzzer for the executors: every accepted
+// query runs through the row-at-a-time reference and through the vectorized
+// pipeline at several worker counts on both key paths, and all of them must
+// agree bit for bit (or all fail with the same error). The fuzz relation
+// includes NUL-bearing strings, NaN, and -0 to stress the key encodings.
+func FuzzExec(f *testing.F) {
+	seeds := []string{
+		"SELECT gender, occupation, avg(rating) AS val FROM ratings WHERE adventure = 1 AND gender != 'X' GROUP BY gender, occupation HAVING count(*) > 1 ORDER BY val DESC LIMIT 10",
+		"select a, sum(rating) as v from t group by a order by v asc",
+		"select a, gender, min(rating) as v from t where adventure >= 1 group by a, gender having max(rating) < 9 order by v desc",
+		"select a, count(*) as c from t group by a order by c desc limit 1",
+		"select rating, count(*) as c from t group by rating order by c desc",
+		"select a, a, avg(adventure) as v from t group by a, a order by v desc",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	rel, err := relation.FromColumns("ratings",
+		relation.StringCol("a", []string{"x", "y\x00", "x", "\x00y", "", "y\x00"}),
+		relation.StringCol("gender", []string{"M", "F", "M", "F", "F", "M"}),
+		relation.IntCol("adventure", []int64{1, 0, 1, 1, 0, 1}),
+		relation.FloatCol("rating", []float64{5, math.NaN(), 4, math.Copysign(0, -1), 0, 4}),
+	)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		q, err := Parse(sql)
+		if err != nil {
+			return
+		}
+		cat := fuzzCatalog{rel}
+		want, refErr := Execute(cat, q, ExecReference())
+		for _, par := range []int{1, 2, 8} {
+			for _, strKeys := range []bool{false, true} {
+				opts := []ExecOption{ExecParallelism(par)}
+				if strKeys {
+					opts = append(opts, ExecStringKeys())
+				}
+				got, err := Execute(cat, q, opts...)
+				if (err == nil) != (refErr == nil) {
+					t.Fatalf("par=%d strKeys=%v: err = %v, reference err = %v (query %q)", par, strKeys, err, refErr, sql)
+				}
+				if err != nil {
+					if err.Error() != refErr.Error() {
+						t.Fatalf("par=%d strKeys=%v: err %q, reference err %q (query %q)", par, strKeys, err, refErr, sql)
+					}
+					continue
+				}
+				if !reflect.DeepEqual(want.GroupBy, got.GroupBy) || want.ValName != got.ValName ||
+					want.Table != got.Table || !reflect.DeepEqual(want.Rows, got.Rows) {
+					t.Fatalf("par=%d strKeys=%v: result mismatch for %q:\nwant %+v\ngot  %+v", par, strKeys, sql, want, got)
+				}
+				if len(want.Vals) != len(got.Vals) {
+					t.Fatalf("par=%d strKeys=%v: %d vals, want %d (query %q)", par, strKeys, len(got.Vals), len(want.Vals), sql)
+				}
+				for i := range want.Vals {
+					if math.Float64bits(want.Vals[i]) != math.Float64bits(got.Vals[i]) {
+						t.Fatalf("par=%d strKeys=%v: val[%d] bits differ: %v vs %v (query %q)", par, strKeys, i, got.Vals[i], want.Vals[i], sql)
+					}
+				}
+			}
+		}
 	})
 }

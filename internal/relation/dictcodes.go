@@ -1,0 +1,88 @@
+package relation
+
+import "math"
+
+// ColDict is the dense dictionary encoding of one column: Codes[i] is the
+// code of row i, with codes assigned in first-seen row order, and Card is the
+// number of distinct codes. Two rows share a code exactly when their rendered
+// values (StringAt) are equal, so grouping on codes is grouping on values:
+// integer ids are injective for int columns, float codes key on the value's
+// bit pattern with every NaN payload collapsed to one code (all NaNs render
+// "NaN"), and ±0 stay distinct (they render "0" and "-0").
+//
+// The query executor groups and hashes on these codes instead of rendering
+// and concatenating strings per row — the "hash values for fields"
+// optimization of the paper's Section 6.3 applied to the SQL substrate
+// itself.
+type ColDict struct {
+	Codes []int32
+	Card  int
+}
+
+// canonicalNaN is the single bit pattern all NaN payloads map to, so float
+// dictionary codes agree with rendered-string equality (every NaN formats as
+// "NaN").
+var canonicalNaN = math.Float64bits(math.NaN())
+
+// DictCodes returns the dictionary encoding of column col, building it on
+// first use and caching it for the relation's lifetime (relations are
+// immutable; appends build new relations with fresh columns, so a cached
+// encoding can never go stale). Safe for concurrent use; the returned value
+// is shared and must not be modified.
+func (r *Relation) DictCodes(col int) *ColDict {
+	r.dictMu.Lock()
+	defer r.dictMu.Unlock()
+	if r.dicts == nil {
+		r.dicts = make([]*ColDict, len(r.cols))
+	}
+	if d := r.dicts[col]; d != nil {
+		return d
+	}
+	d := buildColDict(&r.cols[col])
+	r.dicts[col] = d
+	return d
+}
+
+func buildColDict(c *Column) *ColDict {
+	d := &ColDict{Codes: make([]int32, c.Len())}
+	switch c.Kind {
+	case KindString:
+		ids := make(map[string]int32, 64)
+		for i, s := range c.Str {
+			id, ok := ids[s]
+			if !ok {
+				id = int32(len(ids))
+				ids[s] = id
+			}
+			d.Codes[i] = id
+		}
+		d.Card = len(ids)
+	case KindInt:
+		ids := make(map[int64]int32, 64)
+		for i, v := range c.Int {
+			id, ok := ids[v]
+			if !ok {
+				id = int32(len(ids))
+				ids[v] = id
+			}
+			d.Codes[i] = id
+		}
+		d.Card = len(ids)
+	case KindFloat:
+		ids := make(map[uint64]int32, 64)
+		for i, v := range c.Float {
+			bits := math.Float64bits(v)
+			if v != v {
+				bits = canonicalNaN
+			}
+			id, ok := ids[bits]
+			if !ok {
+				id = int32(len(ids))
+				ids[bits] = id
+			}
+			d.Codes[i] = id
+		}
+		d.Card = len(ids)
+	}
+	return d
+}

@@ -1,0 +1,76 @@
+package relation
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestDictCodesFirstSeenOrder(t *testing.T) {
+	r := MustFromColumns("t",
+		StringCol("s", []string{"b", "a", "b", "c", "a"}),
+		IntCol("i", []int64{7, 7, -1, 7, 2}),
+	)
+	sd := r.DictCodes(0)
+	if want := []int32{0, 1, 0, 2, 1}; !reflect.DeepEqual(sd.Codes, want) {
+		t.Fatalf("string codes = %v, want %v", sd.Codes, want)
+	}
+	if sd.Card != 3 {
+		t.Fatalf("string card = %d, want 3", sd.Card)
+	}
+	id := r.DictCodes(1)
+	if want := []int32{0, 0, 1, 0, 2}; !reflect.DeepEqual(id.Codes, want) {
+		t.Fatalf("int codes = %v, want %v", id.Codes, want)
+	}
+	if id.Card != 3 {
+		t.Fatalf("int card = %d, want 3", id.Card)
+	}
+}
+
+// TestDictCodesFloatSemantics pins the float equality the codes encode: it
+// must match rendered-string (StringAt) equality, so all NaN payloads share
+// one code while +0 and -0 stay distinct ("0" vs "-0").
+func TestDictCodesFloatSemantics(t *testing.T) {
+	nan2 := math.Float64frombits(math.Float64bits(math.NaN()) ^ 1) // different payload
+	r := MustFromColumns("t",
+		FloatCol("f", []float64{math.NaN(), 0, nan2, math.Copysign(0, -1), 0}),
+	)
+	d := r.DictCodes(0)
+	if want := []int32{0, 1, 0, 2, 1}; !reflect.DeepEqual(d.Codes, want) {
+		t.Fatalf("float codes = %v, want %v", d.Codes, want)
+	}
+	if d.Card != 3 {
+		t.Fatalf("float card = %d, want 3", d.Card)
+	}
+	c := r.Column(0)
+	for i := range d.Codes {
+		for j := range d.Codes {
+			if (d.Codes[i] == d.Codes[j]) != (c.StringAt(i) == c.StringAt(j)) {
+				t.Fatalf("rows %d,%d: code equality %v but rendered %q vs %q",
+					i, j, d.Codes[i] == d.Codes[j], c.StringAt(i), c.StringAt(j))
+			}
+		}
+	}
+}
+
+// TestDictCodesCached checks the encoding is built once and shared, also
+// under concurrent first use (run with -race).
+func TestDictCodesCached(t *testing.T) {
+	r := MustFromColumns("t", StringCol("s", []string{"x", "y", "x"}))
+	var wg sync.WaitGroup
+	got := make([]*ColDict, 8)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = r.DictCodes(0)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[0] {
+			t.Fatal("DictCodes returned different instances for the same column")
+		}
+	}
+}

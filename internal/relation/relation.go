@@ -9,6 +9,7 @@ package relation
 import (
 	"fmt"
 	"strconv"
+	"sync"
 )
 
 // Kind identifies the physical type of a column.
@@ -109,6 +110,11 @@ type Relation struct {
 	cols   []Column
 	byName map[string]int
 	n      int
+
+	// dicts caches per-column dictionary encodings (see DictCodes), built
+	// lazily under dictMu; the column data itself never changes.
+	dictMu sync.Mutex
+	dicts  []*ColDict
 }
 
 // FromColumns assembles a relation, validating that column names are unique

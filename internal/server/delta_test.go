@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"qagview"
 )
 
 func del(t *testing.T, ts *httptest.Server, path string) response {
@@ -346,5 +348,67 @@ func TestDeleteSession(t *testing.T) {
 	}
 	if ev := metricsEvents(t, ts); ev["deletes"].(float64) != 1 {
 		t.Fatalf("metrics deletes: %v", ev)
+	}
+}
+
+// TestRefreshBitIdenticalAcrossExecParallelism drives the full serving loop —
+// session build, live-table append, lazy refresh on re-create — on a server
+// running the row-at-a-time reference executor and on servers running the
+// vectorized executor at several worker counts. Every variant must serve the
+// same solutions before and after the data_version bump: query execution
+// settings tune cost, never output.
+func TestRefreshBitIdenticalAcrossExecParallelism(t *testing.T) {
+	extra := [][]string{
+		{"A2", "B2", "C1", "500"},
+		{"A2", "B2", "C1", "500"},
+		{"A0", "B1", "C0", "250"},
+	}
+	// solutionView keeps the result-determined fields, dropping identifiers
+	// and the store-vs-replay source, which depends on build timing.
+	solutionView := func(body map[string]any) map[string]any {
+		v := make(map[string]any)
+		for _, k := range []string{"k", "d", "data_version", "objective", "covered", "clusters"} {
+			v[k] = body[k]
+		}
+		return v
+	}
+	type snap struct {
+		fresh, refreshed map[string]any
+	}
+	run := func(t *testing.T, reference bool, par int) snap {
+		srv, ts := testServer(t, Config{ExecParallelism: par})
+		if reference {
+			srv.db.execOpts = []qagview.QueryOption{qagview.ExecReference()}
+		}
+		id := openSession(t, ts)
+		waitReady(t, ts, id)
+		fresh := get(t, ts, "/v1/sessions/"+id+"/solution?k=3&d=1&expand=1")
+		if fresh.code != http.StatusOK || fresh.body["data_version"].(float64) != 1 {
+			t.Fatalf("fresh solution: %d %s", fresh.code, fresh.raw)
+		}
+		if resp := appendRows(t, ts, "t", extra); resp.code != http.StatusOK {
+			t.Fatalf("append: %d %s", resp.code, resp.raw)
+		}
+		// Re-creating the identical session reconciles it through the
+		// refresh path (db.query under the hood re-runs the session SQL).
+		recreate := post(t, ts, "/v1/sessions", map[string]any{
+			"sql": testSQL, "l": 8, "kmin": 1, "kmax": 6, "ds": []int{0, 1, 2},
+		})
+		if recreate.code != http.StatusOK || recreate.body["data_version"].(float64) != 2 {
+			t.Fatalf("refresh on re-create: %d %s", recreate.code, recreate.raw)
+		}
+		waitReady(t, ts, id)
+		refreshed := get(t, ts, "/v1/sessions/"+id+"/solution?k=3&d=1&expand=1")
+		if refreshed.code != http.StatusOK || refreshed.body["data_version"].(float64) != 2 {
+			t.Fatalf("refreshed solution: %d %s", refreshed.code, refreshed.raw)
+		}
+		return snap{fresh: solutionView(fresh.body), refreshed: solutionView(refreshed.body)}
+	}
+	want := run(t, true, 0)
+	for _, par := range []int{1, 2, 8} {
+		got := run(t, false, par)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("exec parallelism %d diverges from reference executor:\nwant %+v\ngot  %+v", par, want, got)
+		}
 	}
 }

@@ -32,6 +32,10 @@ type Config struct {
 	// SnapshotDir, when non-empty, persists finished precompute stores so
 	// warm restarts skip the sweep. The directory must exist.
 	SnapshotDir string
+	// ExecParallelism bounds the morsel worker pool of query execution
+	// (session builds, refreshes, and /v1/queries). 0 means GOMAXPROCS;
+	// results are bit-identical at any setting.
+	ExecParallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -54,10 +58,14 @@ type db struct {
 	mu   sync.RWMutex
 	db   *qagview.DB
 	gens map[string]uint64
+	// execOpts are applied to every query run through this catalog (session
+	// builds, session refreshes, and ad-hoc /v1/queries alike), so an
+	// ExecParallelism setting covers all execution paths uniformly.
+	execOpts []qagview.QueryOption
 }
 
-func newServerDB() *db {
-	return &db{db: qagview.NewDB(), gens: make(map[string]uint64)}
+func newServerDB(execOpts ...qagview.QueryOption) *db {
+	return &db{db: qagview.NewDB(), gens: make(map[string]uint64), execOpts: execOpts}
 }
 
 func (d *db) register(r *qagview.Relation) error {
@@ -114,7 +122,7 @@ func (d *db) update(name string, fn func(*qagview.Relation) (*qagview.Relation, 
 func (d *db) query(sql string) (*qagview.Result, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return d.db.Query(sql)
+	return d.db.Query(sql, d.execOpts...)
 }
 
 // queryVersioned runs sql and reports the generation of its FROM table as of
@@ -123,7 +131,7 @@ func (d *db) query(sql string) (*qagview.Result, error) {
 func (d *db) queryVersioned(sql string) (*qagview.Result, uint64, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	res, err := d.db.Query(sql)
+	res, err := d.db.Query(sql, d.execOpts...)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -156,9 +164,13 @@ type Server struct {
 // New returns a server with an empty catalog.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	var execOpts []qagview.QueryOption
+	if cfg.ExecParallelism > 0 {
+		execOpts = append(execOpts, qagview.ExecParallelism(cfg.ExecParallelism))
+	}
 	s := &Server{
 		cfg:      cfg,
-		db:       newServerDB(),
+		db:       newServerDB(execOpts...),
 		sessions: newSessionManager(cfg.MaxSessions, cfg.MaxCacheBytes, cfg.SnapshotDir),
 		metrics:  newMetrics(),
 	}
