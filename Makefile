@@ -2,14 +2,14 @@
 # replay are the dense-engine target figure), the cluster-space build
 # (packed/slice keys across worker counts), the per-replay sweep unit, the
 # single-run algorithms, and the Delta-Judgment ablation.
-BENCH_ROOT    := BenchmarkFig7PrecomputeKParallel|BenchmarkFig6VaryD|BenchmarkFig8Delta|BenchmarkBuildIndexMovieLens|BenchmarkApplyDelta|BenchmarkExecuteMovieLens
+BENCH_ROOT    := BenchmarkFig7PrecomputeKParallel|BenchmarkFig6VaryD|BenchmarkFig8Delta|BenchmarkBuildIndexMovieLens|BenchmarkApplyDelta|BenchmarkExecuteMovieLens|BenchmarkAppendWAL
 BENCH_SUMMARIZE := BenchmarkSweeperRunD
 BENCH_COUNT   ?= 1
 BENCH_TIME    ?= 3x
 BENCH_OUT     ?= bench.txt
 BENCH_JSON    ?= BENCH_7.json
 
-.PHONY: build test race bench benchgate fuzz fmt vet lint qagcheck ci e2e serve
+.PHONY: build test race bench benchgate fuzz fmt vet lint qagcheck crash ci e2e serve
 
 build:
 	go build ./...
@@ -40,6 +40,14 @@ lint:
 qagcheck:
 	go test -tags qagcheck ./...
 
+# crash compiles the fault-injection hooks in (-tags qagfault,
+# docs/FAULTS.md) and runs the crash harness under the race detector: a
+# child qagviewd server is SIGKILLed at every registered WAL/snapshot crash
+# point and recovery must preserve every acknowledged write, plus sticky
+# fsync-failure and torn-write tests.
+crash:
+	go test -race -tags qagfault ./internal/wal/... ./internal/server/... ./internal/faultinject/...
+
 # bench runs the tracked benchmarks with allocation reporting and writes the
 # result to $(BENCH_OUT), the artifact CI uploads as the perf baseline, plus
 # a machine-readable $(BENCH_JSON) (benchmark name -> ns/op, B/op, allocs/op)
@@ -67,4 +75,4 @@ e2e:
 serve:
 	go run ./cmd/qagviewd -addr :8080 -sample movielens
 
-ci: vet lint build test race
+ci: vet lint build test race crash

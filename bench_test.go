@@ -7,6 +7,7 @@ package qagview_test
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"qagview"
@@ -18,6 +19,7 @@ import (
 	"qagview/internal/summarize"
 	"qagview/internal/tpcds"
 	"qagview/internal/userstudy"
+	"qagview/internal/wal"
 )
 
 // benchState holds datasets and summarizers shared by all benchmarks; built
@@ -619,4 +621,52 @@ func BenchmarkExecuteMovieLens(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkAppendWAL measures the durable append path behind live-table
+// writes when qagviewd runs with -wal: every record is CRC-framed, written,
+// and fsynced before the caller's ack. The serial case pays a full fsync
+// per record and is dominated by the device's flush latency; the parallel
+// case exercises group commit — concurrent appends staged while a flush is
+// in flight share the next write+fsync — so per-record cost drops with
+// offered load. Replay is discarded (fresh dir per run).
+func BenchmarkAppendWAL(b *testing.B) {
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	open := func(b *testing.B) *wal.Log {
+		b.Helper()
+		l, _, err := wal.Open(b.TempDir(), func(wal.Record) error { return nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { l.Close() })
+		return l
+	}
+	b.Run("serial", func(b *testing.B) {
+		l := open(b)
+		b.SetBytes(int64(len(payload)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := l.Append(wal.Record{Op: 2, Table: "bench", Gen: uint64(i + 1), Data: payload}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("group-commit-par8", func(b *testing.B) {
+		l := open(b)
+		var gen atomic.Uint64
+		b.SetBytes(int64(len(payload)))
+		b.SetParallelism(8)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if err := l.Append(wal.Record{Op: 2, Table: "bench", Gen: gen.Add(1), Data: payload}); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
 }

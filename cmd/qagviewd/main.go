@@ -16,10 +16,20 @@
 //	qagviewd -addr :8080 -sample movielens
 //	qagviewd -addr :8080 -snapshots /var/lib/qagviewd -max-sessions 128 -max-mb 512
 //	qagviewd -addr :8080 -sample tpcds -execpar 4
+//	qagviewd -addr :8080 -wal /var/lib/qagviewd/wal -wal-checkpoint-mb 64
 //
 // -execpar bounds the morsel worker pool of the vectorized query executor
 // used by session builds, refreshes, and /v1/queries (0 = GOMAXPROCS);
 // results are bit-identical at every setting.
+//
+// With -wal set, table creates and row appends are written to a
+// write-ahead log and fsynced before the request is acknowledged; on
+// startup the log replays on top of the newest table snapshots, so a crash
+// — even kill -9 — never loses an acknowledged write. SIGTERM drains
+// gracefully: writes get 503 + Retry-After, in-flight requests finish,
+// background builds are cancelled and awaited, and the WAL is flushed and
+// checkpointed before exit. See README.md ("Durability and fault
+// tolerance") and docs/FAULTS.md.
 //
 // See README.md ("Serving", "Live tables") for the endpoint table and curl
 // walkthroughs.
@@ -57,17 +67,32 @@ func run() error {
 	maxSessions := flag.Int("max-sessions", 64, "maximum live sessions (LRU beyond)")
 	maxMB := flag.Int64("max-mb", 256, "session-cache byte budget in MiB (0 = unlimited)")
 	execPar := flag.Int("execpar", 0, "morsel workers per query execution (0 = GOMAXPROCS); results are identical at any setting")
+	walDir := flag.String("wal", "", "write-ahead-log directory: makes live tables durable across crashes (empty = disabled)")
+	walCheckpointMB := flag.Int64("wal-checkpoint-mb", 64, "checkpoint (snapshot tables, prune the log) when the WAL exceeds this size; 0 disables automatic checkpoints")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request handler deadline; expired queries return 503 (0 = none)")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout: full request read, headers and body (0 = none)")
+	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "http.Server WriteTimeout: full response write (0 = none)")
+	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "http.Server IdleTimeout for keep-alive connections (0 = none)")
+	maxInflightBuilds := flag.Int("max-inflight-builds", 0, "concurrently admitted session builds before 429 (0 = 2xGOMAXPROCS, negative = unlimited)")
 	flag.Parse()
 
 	cfg := server.Config{
-		MaxSessions:     *maxSessions,
-		SnapshotDir:     *snapshots,
-		ExecParallelism: *execPar,
+		MaxSessions:       *maxSessions,
+		SnapshotDir:       *snapshots,
+		ExecParallelism:   *execPar,
+		WALDir:            *walDir,
+		RequestTimeout:    *requestTimeout,
+		MaxInflightBuilds: *maxInflightBuilds,
 	}
 	if *maxMB == 0 {
 		cfg.MaxCacheBytes = -1
 	} else {
 		cfg.MaxCacheBytes = *maxMB << 20
+	}
+	if *walCheckpointMB == 0 {
+		cfg.WALCheckpointBytes = -1
+	} else {
+		cfg.WALCheckpointBytes = *walCheckpointMB << 20
 	}
 	if *snapshots != "" {
 		if err := os.MkdirAll(*snapshots, 0o755); err != nil {
@@ -105,10 +130,26 @@ func run() error {
 		return fmt.Errorf("unknown -sample %q (want movielens or tpcds)", *sample)
 	}
 
+	// Recovery runs after sample preloads (samples are regenerated
+	// deterministically each boot and are not logged; WAL records replay on
+	// top) and before the listener opens, so nothing is served or
+	// acknowledged against un-recovered state.
+	if *walDir != "" {
+		stats, err := srv.Recover()
+		if err != nil {
+			return fmt.Errorf("recovering %s: %w", *walDir, err)
+		}
+		log.Printf("recovered WAL %s: %d snapshots, %d records replayed (%d skipped), %d torn bytes truncated",
+			*walDir, stats.SnapshotsLoaded, stats.RecordsReplayed, stats.RecordsSkipped, stats.TruncatedBytes)
+	}
+
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 	errc := make(chan error, 1)
 	go func() {
@@ -121,12 +162,20 @@ func run() error {
 	case err := <-errc:
 		return err
 	case sig := <-sigc:
-		log.Printf("received %v, shutting down", sig)
+		// Graceful drain: refuse new writes immediately, let in-flight
+		// requests finish, then stop background builds and make everything
+		// acknowledged durable (WAL flush + checkpoint) before exiting.
+		log.Printf("received %v, draining", sig)
+		srv.BeginDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			return err
 		}
+		if err := srv.Drain(); err != nil {
+			return fmt.Errorf("draining: %w", err)
+		}
+		log.Printf("drained cleanly")
 		return nil
 	}
 }

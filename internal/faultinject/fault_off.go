@@ -1,0 +1,18 @@
+//go:build !qagfault
+
+package faultinject
+
+// Enabled reports whether the live fault registry is compiled in.
+const Enabled = false
+
+// Crash is a no-op in production builds; under -tags qagfault it SIGKILLs
+// the process when the named point is armed.
+func Crash(string) {}
+
+// Err returns nil in production builds; under -tags qagfault it returns the
+// injected error when the named point is armed.
+func Err(string) error { return nil }
+
+// ShortWrite reports whether an armed short-write directive covers the
+// point; always false in production builds.
+func ShortWrite(string) bool { return false }

@@ -1,0 +1,21 @@
+//go:build !qagfault
+
+package faultinject
+
+import "testing"
+
+// The production build must carry zero fault machinery: every hook is an
+// inlineable no-op and Enabled is a compile-time false, so gated code is
+// dead-stripped.
+func TestDisabledHooksAreNoOps(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without the qagfault build tag")
+	}
+	Crash("wal.fsync.after") // must not kill the process
+	if err := Err("wal.sync"); err != nil {
+		t.Fatalf("Err returned %v in a production build", err)
+	}
+	if ShortWrite("wal.write") {
+		t.Fatal("ShortWrite true in a production build")
+	}
+}

@@ -1,0 +1,160 @@
+//go:build qagfault
+
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+)
+
+// Enabled reports whether the live fault registry is compiled in.
+const Enabled = true
+
+// directive is one armed fault: crash or error at a named point, firing on
+// the nth hit (crashes) or from the nth hit on (errors).
+type directive struct {
+	point string
+	crash bool
+	errno error // for err: directives
+	short bool  // err:<point>:short — partial write then failure
+	nth   int64 // 1-based hit that fires
+	hits  atomic.Int64
+}
+
+var (
+	mu     sync.Mutex
+	armed  []*directive
+	parsed bool
+)
+
+func init() {
+	if spec := os.Getenv("QAGFAULT"); spec != "" {
+		if err := Arm(spec); err != nil {
+			fmt.Fprintln(os.Stderr, "faultinject: bad QAGFAULT:", err)
+			os.Exit(2)
+		}
+	}
+}
+
+// Arm parses and installs a comma-separated directive list, e.g.
+// "crash:wal.fsync.after" or "err:wal.sync:enospc,crash:wal.prune.before:2".
+// It replaces any previously armed set (including the one from QAGFAULT).
+func Arm(spec string) error {
+	var ds []*directive
+	for _, raw := range strings.Split(spec, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		parts := strings.Split(raw, ":")
+		d := &directive{nth: 1}
+		switch parts[0] {
+		case "crash":
+			if len(parts) < 2 || len(parts) > 3 {
+				return fmt.Errorf("want crash:<point>[:n], got %q", raw)
+			}
+			d.crash = true
+			d.point = parts[1]
+			if len(parts) == 3 {
+				n, err := strconv.ParseInt(parts[2], 10, 64)
+				if err != nil || n < 1 {
+					return fmt.Errorf("bad hit count in %q", raw)
+				}
+				d.nth = n
+			}
+		case "err":
+			if len(parts) < 3 || len(parts) > 4 {
+				return fmt.Errorf("want err:<point>:<kind>[:n], got %q", raw)
+			}
+			d.point = parts[1]
+			switch parts[2] {
+			case "enospc":
+				d.errno = syscall.ENOSPC
+			case "eio":
+				d.errno = syscall.EIO
+			case "short":
+				d.errno = fmt.Errorf("faultinject: injected short write: %w", syscall.ENOSPC)
+				d.short = true
+			default:
+				return fmt.Errorf("unknown error kind %q in %q (want enospc, eio, or short)", parts[2], raw)
+			}
+			if len(parts) == 4 {
+				n, err := strconv.ParseInt(parts[3], 10, 64)
+				if err != nil || n < 1 {
+					return fmt.Errorf("bad hit count in %q", raw)
+				}
+				d.nth = n
+			}
+		default:
+			return fmt.Errorf("unknown directive %q (want crash: or err:)", raw)
+		}
+		ds = append(ds, d)
+	}
+	mu.Lock()
+	armed = ds
+	mu.Unlock()
+	return nil
+}
+
+// Reset disarms every directive.
+func Reset() { Arm("") }
+
+func lookup(point string) []*directive {
+	mu.Lock()
+	defer mu.Unlock()
+	var out []*directive
+	for _, d := range armed {
+		if d.point == point {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Crash SIGKILLs the process if a crash directive for the point reaches its
+// armed hit — the same no-cleanup death as kill -9, so nothing buffered
+// survives that fsync did not already make durable.
+func Crash(point string) {
+	for _, d := range lookup(point) {
+		if !d.crash {
+			continue
+		}
+		if d.hits.Add(1) == d.nth {
+			// SIGKILL cannot be caught: no deferred functions, no flushes.
+			_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			select {} // block until the (asynchronous) signal lands
+		}
+	}
+}
+
+// Err returns the injected error if an err directive for the point is at or
+// past its armed hit; errors are sticky from that hit on, modeling a disk
+// that stays full.
+func Err(point string) error {
+	for _, d := range lookup(point) {
+		if d.crash {
+			continue
+		}
+		if d.hits.Add(1) >= d.nth {
+			return d.errno
+		}
+	}
+	return nil
+}
+
+// ShortWrite reports whether the most recent Err for the point came from a
+// short-write directive (the caller then writes a partial batch before
+// returning the error, leaving a genuinely torn tail).
+func ShortWrite(point string) bool {
+	for _, d := range lookup(point) {
+		if !d.crash && d.short && d.hits.Load() >= d.nth {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,70 @@
+//go:build qagfault
+
+package faultinject
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+)
+
+func TestArmParsing(t *testing.T) {
+	t.Cleanup(Reset)
+	for _, bad := range []string{
+		"crash",                 // missing point
+		"crash:p:0",             // hit count < 1
+		"crash:p:1:2",           // too many fields
+		"err:p",                 // missing kind
+		"err:p:bogus",           // unknown kind
+		"explode:p",             // unknown directive
+		"crash:p:x",             // non-numeric hit
+		"err:p:enospc:notanint", // non-numeric hit
+	} {
+		if err := Arm(bad); err == nil {
+			t.Errorf("Arm(%q) accepted a malformed spec", bad)
+		}
+	}
+	if err := Arm("err:a.b:enospc, crash:c.d:3 ,"); err != nil {
+		t.Fatalf("Arm rejected a valid spec: %v", err)
+	}
+}
+
+func TestErrStickyFromNthHit(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Arm("err:p:enospc:3"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		if err := Err("p"); err != nil {
+			t.Fatalf("hit %d fired early: %v", i, err)
+		}
+	}
+	for i := 3; i <= 5; i++ {
+		if err := Err("p"); !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("hit %d: got %v, want sticky ENOSPC", i, err)
+		}
+	}
+	if Err("other") != nil {
+		t.Fatal("unarmed point fired")
+	}
+}
+
+func TestShortWriteFlag(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Arm("err:w:short"); err != nil {
+		t.Fatal(err)
+	}
+	if ShortWrite("w") {
+		t.Fatal("ShortWrite true before the first Err hit")
+	}
+	if err := Err("w"); err == nil {
+		t.Fatal("short directive returned no error")
+	}
+	if !ShortWrite("w") {
+		t.Fatal("ShortWrite false after the directive fired")
+	}
+	Reset()
+	if ShortWrite("w") {
+		t.Fatal("ShortWrite survived Reset")
+	}
+}

@@ -18,7 +18,10 @@ import (
 // collapse to one build, and the metrics/cache bookkeeping stays
 // consistent.
 func TestConcurrentSessionTraffic(t *testing.T) {
-	srv, ts := testServer(t, Config{})
+	// Unlimited admission: this test deliberately drives more concurrent
+	// creates than the default build semaphore would admit (the 429 path has
+	// its own test in durable_test.go).
+	srv, ts := testServer(t, Config{MaxInflightBuilds: -1})
 
 	// A second, larger table so two sessions with different shapes share the
 	// server.
@@ -157,7 +160,8 @@ func TestConcurrentSessionTraffic(t *testing.T) {
 // clean 200s or 404s, never a torn state, and every evicted session's
 // background sweep must get cancelled without leaking.
 func TestConcurrentEvictionChurn(t *testing.T) {
-	srv, ts := testServer(t, Config{MaxSessions: 2})
+	// Unlimited admission, as above: churn needs every worker in flight.
+	srv, ts := testServer(t, Config{MaxSessions: 2, MaxInflightBuilds: -1})
 
 	const workers = 8
 	var wg sync.WaitGroup

@@ -74,29 +74,25 @@ func parseKinds(kinds map[string]string) (map[string]qagview.Kind, error) {
 	return out, nil
 }
 
-func (s *Server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
-	var req tableRequest
-	if !decodeBody(w, r, &req) {
-		return
-	}
+// buildRelation validates a table request and parses it into a relation.
+// It is the single parse path for both the live create handler and WAL
+// replay — recovery re-runs exactly this code, which is what makes the
+// recovered table bit-identical to the acknowledged one.
+func buildRelation(req tableRequest) (*qagview.Relation, error) {
 	if req.Name == "" {
-		writeErr(w, http.StatusBadRequest, "missing table name")
-		return
+		return nil, fmt.Errorf("missing table name")
 	}
 	hasCSV := req.CSV != ""
 	hasInline := len(req.Attrs) > 0 || len(req.Rows) > 0
 	if hasCSV == hasInline {
-		writeErr(w, http.StatusBadRequest, "provide exactly one of csv or attrs+rows")
-		return
+		return nil, fmt.Errorf("provide exactly one of csv or attrs+rows")
 	}
 	if hasInline && len(req.Attrs) == 0 {
-		writeErr(w, http.StatusBadRequest, "inline rows need attrs")
-		return
+		return nil, fmt.Errorf("inline rows need attrs")
 	}
 	kinds, err := parseKinds(req.Kinds)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "bad kinds: %v", err)
-		return
+		return nil, fmt.Errorf("bad kinds: %v", err)
 	}
 	raw := req.CSV
 	if raw == "" {
@@ -111,22 +107,83 @@ func (s *Server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 	}
 	rel, err := qagview.ReadCSV(strings.NewReader(raw), req.Name, kinds)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "loading table: %v", err)
+		return nil, fmt.Errorf("loading table: %v", err)
+	}
+	return rel, nil
+}
+
+// stageRecord builds the WAL staging hook for a mutating request, or nil
+// when durability is off. The record payload is the request JSON itself, so
+// replay re-runs the identical parse-and-apply path the live request took.
+func (s *Server) stageRecord(w http.ResponseWriter, op byte, table string, req any) (func(uint64) func() error, bool) {
+	if s.dur == nil {
+		return nil, true
+	}
+	l, err := s.dur.ready()
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return nil, false
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "encoding WAL record: %v", err)
+		return nil, false
+	}
+	return s.dur.stageFunc(l, op, table, payload), true
+}
+
+// writeDBErr maps a catalog write error: durability failures are 503 (the
+// write may be applied in memory but was not made durable, and the log has
+// gone fail-stop), unknown tables 404, everything else 400.
+func writeDBErr(w http.ResponseWriter, verb string, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, errDurability):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, qagview.ErrUnknownTable):
+		code = http.StatusNotFound
+	}
+	writeErr(w, code, verb+": %v", err)
+}
+
+func (s *Server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
+	var req tableRequest
+	if !decodeBody(w, r, &req) {
 		return
 	}
-	if err := s.db.register(rel); err != nil {
-		writeErr(w, http.StatusBadRequest, "registering table: %v", err)
+	rel, err := buildRelation(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	stage, ok := s.stageRecord(w, walOpCreate, req.Name, req)
+	if !ok {
+		return
+	}
+	gen, err := s.db.register(rel, stage)
+	if err != nil {
+		writeDBErr(w, "registering table", err)
+		return
+	}
+	s.maybeCheckpoint()
 	writeJSON(w, http.StatusCreated, map[string]any{
-		"table": req.Name,
-		"rows":  rel.NumRows(),
-		"cols":  rel.NumCols(),
+		"table":        req.Name,
+		"rows":         rel.NumRows(),
+		"cols":         rel.NumCols(),
+		"data_version": gen,
 	})
 }
 
 func (s *Server) handleListTables(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"tables": s.db.tables()})
+	names := s.db.tables()
+	versions := make(map[string]uint64, len(names))
+	for _, name := range names {
+		versions[name] = s.db.generation(name)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tables":        names,
+		"data_versions": versions,
+	})
 }
 
 // ---- live-table appends ----
@@ -155,6 +212,10 @@ func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "provide exactly one of rows or csv")
 		return
 	}
+	stage, ok := s.stageRecord(w, walOpAppend, name, req)
+	if !ok {
+		return
+	}
 	appended, total := 0, 0
 	gen, err := s.db.update(name, func(rel *qagview.Relation) (*qagview.Relation, error) {
 		next, n, err := appendToRelation(rel, req)
@@ -167,15 +228,12 @@ func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
 		}
 		appended, total = n, next.NumRows()
 		return next, nil
-	})
+	}, stage) // zero-row batches return before staging: nothing is logged
 	if err != nil {
-		code := http.StatusBadRequest
-		if errors.Is(err, qagview.ErrUnknownTable) {
-			code = http.StatusNotFound
-		}
-		writeErr(w, code, "appending rows: %v", err)
+		writeDBErr(w, "appending rows", err)
 		return
 	}
+	s.maybeCheckpoint()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"table":        name,
 		"appended":     appended,
@@ -302,8 +360,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "missing sql")
 		return
 	}
-	res, err := s.db.query(req.SQL)
+	res, err := s.db.query(r.Context(), req.SQL)
 	if err != nil {
+		if isDeadline(err) {
+			writeErr(w, http.StatusServiceUnavailable, "query canceled: %v", err)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, "query failed: %v", err)
 		return
 	}
@@ -371,8 +433,12 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "kmax = %d exceeds the server limit %d", req.KMax, maxSessionKMax)
 		return
 	}
-	sess, reused, err := s.sessions.open(s.db, req.SQL, req.L, req.KMin, req.KMax, req.Ds)
+	sess, reused, err := s.sessions.open(r.Context(), s.db, req.SQL, req.L, req.KMin, req.KMax, req.Ds)
 	if err != nil {
+		if isDeadline(err) {
+			writeErr(w, http.StatusServiceUnavailable, "creating session: %v", err)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, "creating session: %v", err)
 		return
 	}

@@ -19,6 +19,9 @@ type metrics struct {
 	mu     sync.Mutex
 	start  time.Time
 	routes map[string]*routeMetrics
+	// robustness counters (see middleware.go).
+	panics           int64
+	admissionRejects int64
 }
 
 type routeMetrics struct {
@@ -80,6 +83,30 @@ func (m *metrics) snapshot() (uptime time.Duration, routes map[string]RouteStats
 	return time.Since(m.start), routes
 }
 
+func (m *metrics) countPanic() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.panics++
+}
+
+func (m *metrics) countAdmissionReject() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.admissionRejects++
+}
+
+// robustnessStats reports the middleware counters for /metrics.
+type robustnessStats struct {
+	PanicsRecovered  int64
+	AdmissionRejects int64
+}
+
+func (m *metrics) robustness() robustnessStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return robustnessStats{PanicsRecovered: m.panics, AdmissionRejects: m.admissionRejects}
+}
+
 // quantile reads q from an ascending sample list (nearest-rank).
 func quantile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
@@ -95,15 +122,24 @@ func quantile(sorted []float64, q float64) float64 {
 	return sorted[i]
 }
 
-// statusWriter captures the response code for the metrics middleware.
+// statusWriter captures the response code for the metrics middleware, and
+// whether anything was written — the panic middleware only synthesizes a
+// 500 body when the handler had not started responding.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
 }
 
 // instrument wraps a handler with request counting and latency sampling

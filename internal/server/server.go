@@ -10,12 +10,21 @@
 // into Precompute. Identical concurrent session requests are deduplicated
 // with a singleflight group, and finished stores are snapshotted with
 // Store.Encode so a warm restart decodes instead of re-sweeping.
+//
+// With a WAL directory configured the live tables are durable: every table
+// create and row append is written to a write-ahead log and fsynced before
+// the request is acknowledged, and Recover rebuilds the exact acknowledged
+// state — snapshots plus log replay — after a crash. See durable.go.
 package server
 
 import (
+	"context"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"qagview"
 )
@@ -36,6 +45,21 @@ type Config struct {
 	// (session builds, refreshes, and /v1/queries). 0 means GOMAXPROCS;
 	// results are bit-identical at any setting.
 	ExecParallelism int
+	// WALDir, when non-empty, makes live tables durable: creates and
+	// appends are logged and fsynced before acknowledgement, and Recover
+	// replays the log on startup. Created if missing.
+	WALDir string
+	// WALCheckpointBytes triggers a checkpoint (snapshot tables, prune the
+	// log) once the WAL exceeds this size. 0 means the default of 64 MiB;
+	// negative disables automatic checkpoints (Drain still checkpoints).
+	WALCheckpointBytes int64
+	// MaxInflightBuilds bounds concurrently admitted session builds; excess
+	// POST /v1/sessions requests get 429 + Retry-After. 0 means the default
+	// of 2×GOMAXPROCS (min 4); negative means unlimited.
+	MaxInflightBuilds int
+	// RequestTimeout bounds each request's handler; queries observe the
+	// deadline between morsels and the response is 503. 0 disables.
+	RequestTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -47,6 +71,21 @@ func (c Config) withDefaults() Config {
 		c.MaxCacheBytes = 256 << 20
 	case c.MaxCacheBytes < 0:
 		c.MaxCacheBytes = 0 // lruCache treats 0 as unlimited
+	}
+	switch {
+	case c.WALCheckpointBytes == 0:
+		c.WALCheckpointBytes = 64 << 20
+	case c.WALCheckpointBytes < 0:
+		c.WALCheckpointBytes = 0 // durability treats 0 as "never auto-checkpoint"
+	}
+	switch {
+	case c.MaxInflightBuilds == 0:
+		c.MaxInflightBuilds = 2 * runtime.GOMAXPROCS(0)
+		if c.MaxInflightBuilds < 4 {
+			c.MaxInflightBuilds = 4
+		}
+	case c.MaxInflightBuilds < 0:
+		c.MaxInflightBuilds = 0 // 0 after defaults means unlimited
 	}
 	return c
 }
@@ -68,13 +107,46 @@ func newServerDB(execOpts ...qagview.QueryOption) *db {
 	return &db{db: qagview.NewDB(), gens: make(map[string]uint64), execOpts: execOpts}
 }
 
-func (d *db) register(r *qagview.Relation) error {
+// register installs a relation and bumps its data generation. A non-nil
+// stage hook runs under the catalog lock right after the generation is
+// assigned — write-ahead-log staging, which must see generations in
+// assignment order — and returns a wait that runs after the lock drops;
+// registration only counts as durable once that wait returns nil. The
+// returned generation is valid either way (the caller may already have
+// applied the data in memory).
+func (d *db) register(r *qagview.Relation, stage func(gen uint64) func() error) (uint64, error) {
+	d.mu.Lock()
+	if err := d.db.Register(r); err != nil {
+		d.mu.Unlock()
+		return 0, err
+	}
+	d.gens[r.Name()]++
+	g := d.gens[r.Name()]
+	var wait func() error
+	if stage != nil {
+		wait = stage(g)
+	}
+	d.mu.Unlock()
+	if wait != nil {
+		if err := wait(); err != nil {
+			return g, fmt.Errorf("%w: %v", errDurability, err)
+		}
+	}
+	return g, nil
+}
+
+// restore installs a relation at an explicit data generation — recovery
+// replay, where the generation must match what the record was acknowledged
+// with, not a fresh increment.
+func (d *db) restore(r *qagview.Relation, gen uint64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if err := d.db.Register(r); err != nil {
 		return err
 	}
-	d.gens[r.Name()]++
+	if gen > d.gens[r.Name()] {
+		d.gens[r.Name()] = gen
+	}
 	return nil
 }
 
@@ -86,8 +158,9 @@ func (d *db) register(r *qagview.Relation) error {
 // (appends compose, so re-applying fn is correct, and each retry means
 // someone else made progress). A nil next from fn is a no-op: the table and
 // its generation stay untouched (an empty append must not mark every
-// session over the table stale).
-func (d *db) update(name string, fn func(*qagview.Relation) (*qagview.Relation, error)) (uint64, error) {
+// session over the table stale). A non-nil stage hook behaves as in
+// register: staged under the lock in generation order, awaited outside it.
+func (d *db) update(name string, fn func(*qagview.Relation) (*qagview.Relation, error), stage func(gen uint64) func() error) (uint64, error) {
 	for {
 		d.mu.RLock()
 		rel, err := d.db.Table(name)
@@ -114,24 +187,64 @@ func (d *db) update(name string, fn func(*qagview.Relation) (*qagview.Relation, 
 		}
 		d.gens[name]++
 		g := d.gens[name]
+		var wait func() error
+		if stage != nil {
+			wait = stage(g)
+		}
 		d.mu.Unlock()
+		if wait != nil {
+			if err := wait(); err != nil {
+				return g, fmt.Errorf("%w: %v", errDurability, err)
+			}
+		}
 		return g, nil
 	}
 }
 
-func (d *db) query(sql string) (*qagview.Result, error) {
+// table returns the named relation under the read lock.
+func (d *db) table(name string) (*qagview.Relation, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return d.db.Query(sql, d.execOpts...)
+	return d.db.Table(name)
+}
+
+// tableWithGen returns a relation together with its data generation, read
+// atomically so a checkpoint never pairs a table with a stale generation.
+func (d *db) tableWithGen(name string) (*qagview.Relation, uint64, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	rel, err := d.db.Table(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rel, d.gens[name], nil
+}
+
+// execOptions returns the catalog's query options, extended with ctx when
+// one is supplied. The base slice is never appended to in place — handlers
+// run concurrently and share it.
+func (d *db) execOptions(ctx context.Context) []qagview.QueryOption {
+	if ctx == nil {
+		return d.execOpts
+	}
+	opts := make([]qagview.QueryOption, 0, len(d.execOpts)+1)
+	opts = append(opts, d.execOpts...)
+	return append(opts, qagview.ExecContext(ctx))
+}
+
+func (d *db) query(ctx context.Context, sql string) (*qagview.Result, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.db.Query(sql, d.execOptions(ctx)...)
 }
 
 // queryVersioned runs sql and reports the generation of its FROM table as of
 // (at latest) the start of the query, under one read lock so no append can
 // slip between the generation read and the scan.
-func (d *db) queryVersioned(sql string) (*qagview.Result, uint64, error) {
+func (d *db) queryVersioned(ctx context.Context, sql string) (*qagview.Result, uint64, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	res, err := d.db.Query(sql, d.execOpts...)
+	res, err := d.db.Query(sql, d.execOptions(ctx)...)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -159,9 +272,14 @@ type Server struct {
 	sessions *sessionManager
 	metrics  *metrics
 	mux      *http.ServeMux
+	dur      *durability // nil when Config.WALDir is empty
+	// buildSlots is the session-build admission semaphore (nil = unlimited).
+	buildSlots chan struct{}
+	draining   atomic.Bool
 }
 
-// New returns a server with an empty catalog.
+// New returns a server with an empty catalog. With Config.WALDir set, call
+// Recover after preloading samples and before serving.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	var execOpts []qagview.QueryOption
@@ -174,22 +292,32 @@ func New(cfg Config) *Server {
 		sessions: newSessionManager(cfg.MaxSessions, cfg.MaxCacheBytes, cfg.SnapshotDir),
 		metrics:  newMetrics(),
 	}
-	s.mux = http.NewServeMux()
-	route := func(pattern, label string, h http.HandlerFunc) {
-		s.mux.HandleFunc(pattern, s.instrument(label, h))
+	if cfg.WALDir != "" {
+		s.dur = newDurability(cfg.WALDir, cfg.WALCheckpointBytes)
 	}
-	route("POST /v1/tables", "POST /v1/tables", s.handleCreateTable)
+	if cfg.MaxInflightBuilds > 0 {
+		s.buildSlots = make(chan struct{}, cfg.MaxInflightBuilds)
+	}
+	s.mux = http.NewServeMux()
+	// Middleware order, outermost first: instrument (counts every response,
+	// including 429/500/503 from inner layers) → panic recovery → deadline.
+	// Write endpoints additionally refuse while draining; session creation
+	// passes admission control.
+	route := func(pattern, label string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, s.instrument(label, s.recoverPanics(s.withDeadline(h))))
+	}
+	route("POST /v1/tables", "POST /v1/tables", s.gateWrites(s.handleCreateTable))
 	route("GET /v1/tables", "GET /v1/tables", s.handleListTables)
-	route("POST /v1/tables/{id}/rows", "POST /v1/tables/{id}/rows", s.handleAppendRows)
+	route("POST /v1/tables/{id}/rows", "POST /v1/tables/{id}/rows", s.gateWrites(s.handleAppendRows))
 	route("POST /v1/queries", "POST /v1/queries", s.handleQuery)
-	route("POST /v1/sessions", "POST /v1/sessions", s.handleCreateSession)
+	route("POST /v1/sessions", "POST /v1/sessions", s.gateWrites(s.admitBuild(s.handleCreateSession)))
 	route("GET /v1/sessions/{id}", "GET /v1/sessions/{id}", s.handleSessionInfo)
 	route("DELETE /v1/sessions/{id}", "DELETE /v1/sessions/{id}", s.handleDeleteSession)
 	route("GET /v1/sessions/{id}/solution", "GET /v1/sessions/{id}/solution", s.handleSolution)
 	route("GET /v1/sessions/{id}/guidance", "GET /v1/sessions/{id}/guidance", s.handleGuidance)
 	route("GET /v1/sessions/{id}/diff", "GET /v1/sessions/{id}/diff", s.handleDiff)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.recoverPanics(s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.recoverPanics(s.handleMetrics))
 	return s
 }
 
@@ -197,23 +325,46 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Register preloads a relation into the catalog (sample datasets; tests).
-func (s *Server) Register(r *qagview.Relation) error { return s.db.register(r) }
+// Preloads are not write-ahead logged: samples are regenerated
+// deterministically at boot, and WAL appends replay on top of them.
+func (s *Server) Register(r *qagview.Relation) error {
+	_, err := s.db.register(r, nil)
+	return err
+}
 
-// Close cancels all background session work. In-flight requests finish.
+// Close cancels all background session work and waits for it to stop.
+// In-flight requests finish. For a durable server prefer Drain, which also
+// flushes and checkpoints the WAL.
 func (s *Server) Close() { s.sessions.close() }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	uptime, _ := s.metrics.snapshot()
+	ws, _, durable := s.walStats()
+	walStatus := "disabled"
+	if durable {
+		switch {
+		case ws.Broken:
+			walStatus = "broken"
+		default:
+			walStatus = "ok"
+		}
+	}
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
+		"status":         status,
 		"uptime_seconds": uptime.Seconds(),
+		"wal":            walStatus,
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	uptime, routes := s.metrics.snapshot()
 	entries, bytes, stats := s.sessions.occupancy()
-	writeJSON(w, http.StatusOK, map[string]any{
+	robust := s.metrics.robustness()
+	body := map[string]any{
 		"uptime_seconds": uptime.Seconds(),
 		"requests":       routes,
 		"sessions": map[string]any{
@@ -223,7 +374,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"max_bytes":   s.cfg.MaxCacheBytes,
 			"events":      stats,
 		},
-	})
+		"panics_recovered":  robust.PanicsRecovered,
+		"admission_rejects": robust.AdmissionRejects,
+		"inflight_builds":   len(s.buildSlots),
+		"draining":          s.draining.Load(),
+	}
+	if ws, ds, durable := s.walStats(); durable {
+		body["wal"] = ws
+		body["recovery"] = ds
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // String renders the bind hint for logs.

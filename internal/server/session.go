@@ -160,6 +160,11 @@ type sessionManager struct {
 	flight      flightGroup
 	snapshotDir string
 
+	// wg tracks background store-build goroutines so close can wait for
+	// them after cancelling: graceful shutdown must not exit while a sweep
+	// still touches a Live maintainer.
+	wg sync.WaitGroup
+
 	// removing marks an explicit DELETE in progress (under mu), so the
 	// eviction hook can tell cache-pressure evictions from user deletes and
 	// keep the evictions gauge meaningful for LRU sizing.
@@ -209,7 +214,7 @@ func (m *sessionManager) remove(id string) bool {
 // Concurrent identical requests share one build; reused reports whether the
 // caller got a session someone else created (live cache hit or singleflight
 // duplicate).
-func (m *sessionManager) open(db *db, sql string, l, kMin, kMax int, ds []int) (sess *session, reused bool, err error) {
+func (m *sessionManager) open(ctx context.Context, db *db, sql string, l, kMin, kMax int, ds []int) (sess *session, reused bool, err error) {
 	key := sessionKey(sql, l, kMin, kMax, ds)
 	id := "s-" + key[:16]
 	if s, ok := m.get(id); ok {
@@ -221,7 +226,7 @@ func (m *sessionManager) open(db *db, sql string, l, kMin, kMax int, ds []int) (
 		if s, ok := m.get(id); ok {
 			return s, nil
 		}
-		return m.build(db, id, sql, l, kMin, kMax, ds)
+		return m.build(ctx, db, id, sql, l, kMin, kMax, ds)
 	})
 	if err != nil {
 		return nil, false, err
@@ -238,12 +243,15 @@ func (m *sessionManager) open(db *db, sql string, l, kMin, kMax int, ds []int) (
 // cluster-space construction), registers the session, and kicks off the
 // background store build. Callers hold the singleflight slot for key, so at
 // most one build per key runs at a time.
-func (m *sessionManager) build(db *db, id, sql string, l, kMin, kMax int, ds []int) (*session, error) {
+// The ctx bounds only the synchronous query (the caller's request deadline;
+// duplicate singleflight callers share the first caller's fate); the
+// background sweep runs under its own cancel-on-eviction context.
+func (m *sessionManager) build(ctx context.Context, db *db, id, sql string, l, kMin, kMax int, ds []int) (*session, error) {
 	// Read the table generation before running the query: if an append races
 	// in between, the view is labeled older than the data it may contain and
 	// the first read triggers a refresh that diffs to a no-op — never the
 	// other way around (stale data labeled fresh).
-	res, gen, err := db.queryVersioned(sql)
+	res, gen, err := db.queryVersioned(ctx, sql)
 	if err != nil {
 		return nil, err
 	}
@@ -269,7 +277,7 @@ func (m *sessionManager) build(db *db, id, sql string, l, kMin, kMax int, ds []i
 		}
 		seen[d] = true
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	buildCtx, cancel := context.WithCancel(context.Background())
 	s := &session{
 		ID: id, SQL: sql, Table: res.Table, L: l, KMin: kMin, KMax: kMax,
 		Ds:      append([]int(nil), ds...),
@@ -288,7 +296,8 @@ func (m *sessionManager) build(db *db, id, sql string, l, kMin, kMax int, ds []i
 	m.stats.Builds++
 	m.cache.Add(id, s, sum.ApproxBytes())
 	m.mu.Unlock()
-	go m.buildStore(ctx, s, v)
+	m.wg.Add(1)
+	go m.buildStore(buildCtx, s, v)
 	return s, nil
 }
 
@@ -311,7 +320,10 @@ func (m *sessionManager) freshen(db *db, s *session) (*sessionView, error) {
 		if s.dead.Load() || cur.dataVersion >= want {
 			return cur, nil // raced with another refresh or a delete
 		}
-		res, err := db.query(s.SQL)
+		// Refreshes run uncancelled: the result is shared by every concurrent
+		// stale reader through the singleflight group, so one caller's
+		// deadline must not fail the others' reads.
+		res, err := db.query(context.Background(), s.SQL)
 		if err != nil {
 			m.countRefresh(&m.stats.RefreshErrors)
 			return nil, fmt.Errorf("refresh query: %w", err)
@@ -356,6 +368,7 @@ func (m *sessionManager) freshen(db *db, s *session) (*sessionView, error) {
 		m.stats.Refreshes++
 		m.cache.Resize(s.ID, nv.sum.ApproxBytes())
 		m.mu.Unlock()
+		m.wg.Add(1)
 		go m.buildStore(ctx, s, nv)
 		return nv, nil
 	})
@@ -378,6 +391,7 @@ func (m *sessionManager) countRefresh(counter *int64) {
 // generation's replay state — and snapshotting the result for the next
 // restart.
 func (m *sessionManager) buildStore(ctx context.Context, s *session, v *sessionView) {
+	defer m.wg.Done()
 	defer close(v.build.ready)
 	// A panic here would kill the whole process (background goroutine), so
 	// degrade to a build error: the session keeps serving via the live path.
@@ -533,11 +547,15 @@ func (m *sessionManager) occupancy() (entries int, bytes int64, stats managerSta
 	return m.cache.Len(), m.cache.Bytes(), m.stats
 }
 
-// close cancels every live session's background work.
+// close cancels every live session's background work and waits for the
+// build goroutines to return. Safe to call more than once.
 func (m *sessionManager) close() {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	for m.cache.Len() > 0 {
 		m.cache.removeElement(m.cache.ll.Back())
 	}
+	m.mu.Unlock()
+	// Outside the lock: cancelled builds may still need m.mu to count their
+	// cancellation before they return.
+	m.wg.Wait()
 }

@@ -1,0 +1,75 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Record is one logged mutation, keyed by table and the data generation the
+// mutation produced. Op and Data are opaque to the log; the serving layer
+// defines them (table create, row append).
+type Record struct {
+	Op    byte
+	Table string
+	Gen   uint64
+	Data  []byte
+}
+
+// Frame layout: an 8-byte header — uint32 payload length, uint32 CRC32-IEEE
+// of the payload — followed by the payload:
+//
+//	[1]  op
+//	[8]  generation, little-endian
+//	[4]  table-name length, little-endian
+//	[..] table name
+//	[..] data
+//
+// A frame is torn when the file ends before its declared payload does (the
+// write was cut mid-record); it is corrupt when all its bytes are present
+// but the CRC disagrees. Replay truncates a torn final frame and fail-stops
+// on corruption (see scanSegment).
+const frameHeaderSize = 8
+
+// MaxRecordBytes bounds one record's payload; a declared length beyond it
+// is treated as corruption (or a torn tail, when the bytes from the frame
+// on are all zero — a preallocated-and-never-written region).
+const MaxRecordBytes = 256 << 20
+
+func payloadSize(r Record) int {
+	return 1 + 8 + 4 + len(r.Table) + len(r.Data)
+}
+
+// appendFrame encodes r as a framed record at the end of dst.
+func appendFrame(dst []byte, r Record) []byte {
+	n := payloadSize(r)
+	start := len(dst)
+	dst = append(dst, make([]byte, frameHeaderSize+n)...)
+	payload := dst[start+frameHeaderSize:]
+	payload[0] = r.Op
+	binary.LittleEndian.PutUint64(payload[1:], r.Gen)
+	binary.LittleEndian.PutUint32(payload[9:], uint32(len(r.Table)))
+	copy(payload[13:], r.Table)
+	copy(payload[13+len(r.Table):], r.Data)
+	binary.LittleEndian.PutUint32(dst[start:], uint32(n))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.ChecksumIEEE(payload))
+	return dst
+}
+
+// decodePayload parses a checksum-verified payload back into a Record. The
+// returned Record's Table and Data alias the input.
+func decodePayload(p []byte) (Record, error) {
+	if len(p) < 13 {
+		return Record{}, fmt.Errorf("payload too short: %d bytes", len(p))
+	}
+	tn := binary.LittleEndian.Uint32(p[9:])
+	if int(tn) > len(p)-13 {
+		return Record{}, fmt.Errorf("table-name length %d exceeds payload", tn)
+	}
+	return Record{
+		Op:    p[0],
+		Gen:   binary.LittleEndian.Uint64(p[1:]),
+		Table: string(p[13 : 13+tn]),
+		Data:  p[13+tn:],
+	}, nil
+}

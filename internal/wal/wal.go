@@ -1,0 +1,407 @@
+// Package wal implements the write-ahead log behind qagviewd's durable live
+// tables: a directory of length-prefixed, CRC32-checksummed segment files
+// with group commit — concurrent appends share one fsync — torn-tail
+// truncation on replay, and checkpoint-driven segment rotation and pruning.
+//
+// Durability contract: Append (or the wait function returned by Stage)
+// returns nil only after the record's batch has been fsynced to the current
+// segment. A crash at any instant loses at most the records whose appends
+// had not yet returned — never an acknowledged one, and never a prefix gap:
+// records become durable in exactly the order they were staged.
+//
+// Fail-stop: a failed write or fsync marks the log broken and every
+// subsequent append fails immediately. After a failed fsync the kernel may
+// have dropped arbitrary dirty pages, so "retry and hope" would turn a
+// reported error into silent loss; the process must restart and recover.
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"qagview/internal/faultinject"
+)
+
+const (
+	segPrefix = "wal-"
+	segSuffix = ".log"
+	// fsyncSampleCap bounds the fsync-latency reservoir (quantiles over the
+	// most recent samples, O(1) memory under sustained traffic).
+	fsyncSampleCap = 512
+)
+
+// Log is an append-only record log over numbered segment files. All methods
+// are goroutine-safe.
+type Log struct {
+	dir string
+
+	// ioMu serializes file operations (batch commits, rotation); mu guards
+	// the staging state and is never held across I/O, so appends stage — and
+	// pile into the next group commit — while an fsync is in flight.
+	ioMu sync.Mutex
+	mu   sync.Mutex
+
+	f        *os.File // current segment (swapped under ioMu+mu)
+	seq      uint64   // current segment sequence number
+	pending  []byte   // staged frames awaiting the next commit
+	waiters  []chan error
+	flushing bool
+	broken   error // sticky first failure; all later appends return it
+
+	// stats (under mu)
+	appends int64
+	batches int64
+	fsyncs  int64
+	bytes   int64 // bytes appended this process
+	size    int64 // on-disk bytes across live segments
+	fsyncMs []float64
+	fsyncAt int
+}
+
+// Stats is a point-in-time snapshot of the log's counters for /metrics.
+type Stats struct {
+	Appends    int64   `json:"appends"`
+	Batches    int64   `json:"batches"`
+	Fsyncs     int64   `json:"fsyncs"`
+	Bytes      int64   `json:"bytes"`
+	SizeBytes  int64   `json:"size_bytes"`
+	FsyncP50Ms float64 `json:"fsync_p50_ms"`
+	FsyncP99Ms float64 `json:"fsync_p99_ms"`
+	Broken     bool    `json:"broken"`
+}
+
+// segName renders a segment filename; the fixed-width sequence keeps
+// lexicographic order equal to numeric order for directory listings.
+func segName(seq uint64) string {
+	return fmt.Sprintf("%s%08d%s", segPrefix, seq, segSuffix)
+}
+
+// segSeq parses a segment filename, reporting ok=false for foreign files.
+func segSeq(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	digits := name[len(segPrefix) : len(name)-len(segSuffix)]
+	if len(digits) == 0 {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// listSegments returns the directory's segment paths in sequence order.
+func listSegments(dir string) ([]string, []uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	type seg struct {
+		path string
+		seq  uint64
+	}
+	var segs []seg
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := segSeq(e.Name()); ok {
+			segs = append(segs, seg{filepath.Join(dir, e.Name()), seq})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	paths := make([]string, len(segs))
+	seqs := make([]uint64, len(segs))
+	for i, s := range segs {
+		paths[i] = s.path
+		seqs[i] = s.seq
+	}
+	return paths, seqs, nil
+}
+
+// syncDir fsyncs the directory so segment creations, renames, and removals
+// survive a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Stage appends the record to the in-memory commit buffer and returns a
+// wait function that blocks until the record's batch is durable (or fails).
+// Staging is cheap and non-blocking — callers that must order records
+// against other state may stage under their own lock and wait outside it.
+// Records staged in sequence become durable in the same sequence.
+func (l *Log) Stage(rec Record) func() error {
+	frame := appendFrame(nil, rec)
+	ch := make(chan error, 1)
+	l.mu.Lock()
+	if l.broken != nil {
+		err := l.broken
+		l.mu.Unlock()
+		return func() error { return err }
+	}
+	l.pending = append(l.pending, frame...)
+	l.waiters = append(l.waiters, ch)
+	l.appends++
+	l.bytes += int64(len(frame))
+	l.size += int64(len(frame))
+	start := !l.flushing
+	if start {
+		l.flushing = true
+	}
+	l.mu.Unlock()
+	faultinject.Crash(faultinject.CrashWALAppendStaged)
+	if start {
+		go l.flushLoop()
+	}
+	return func() error { return <-ch }
+}
+
+// Append stages the record and waits for it to be durable.
+func (l *Log) Append(rec Record) error { return l.Stage(rec)() }
+
+// Sync waits until everything staged before the call is durable (graceful
+// drain). It returns the sticky error if the log is broken.
+func (l *Log) Sync() error {
+	ch := make(chan error, 1)
+	l.mu.Lock()
+	if l.broken != nil {
+		err := l.broken
+		l.mu.Unlock()
+		return err
+	}
+	if !l.flushing && len(l.pending) == 0 {
+		l.mu.Unlock()
+		return nil
+	}
+	l.waiters = append(l.waiters, ch)
+	start := !l.flushing
+	if start {
+		l.flushing = true
+	}
+	l.mu.Unlock()
+	if start {
+		go l.flushLoop()
+	}
+	return <-ch
+}
+
+// flushLoop drains the staging buffer in batches: each iteration takes
+// everything staged so far, writes it with one write call, and fsyncs once
+// — the group commit. It exits when the buffer is empty.
+func (l *Log) flushLoop() {
+	for {
+		l.ioMu.Lock()
+		l.mu.Lock()
+		if len(l.pending) == 0 && len(l.waiters) == 0 {
+			l.flushing = false
+			l.mu.Unlock()
+			l.ioMu.Unlock()
+			return
+		}
+		buf := l.pending
+		ws := l.waiters
+		l.pending = nil
+		l.waiters = nil
+		f := l.f
+		l.mu.Unlock()
+		err := l.commit(f, buf)
+		l.ioMu.Unlock()
+		if err != nil {
+			l.mu.Lock()
+			if l.broken == nil {
+				l.broken = err
+			}
+			l.mu.Unlock()
+		}
+		for _, ch := range ws {
+			ch <- err
+		}
+	}
+}
+
+// commit writes one batch and makes it durable with a single fsync.
+func (l *Log) commit(f *os.File, buf []byte) error {
+	if len(buf) > 0 {
+		if err := faultinject.Err(faultinject.ErrWALWrite); err != nil {
+			if faultinject.ShortWrite(faultinject.ErrWALWrite) {
+				_, _ = f.Write(buf[:len(buf)/2]) // leave a genuinely torn tail
+			}
+			return fmt.Errorf("wal: write: %w", err)
+		}
+		n, err := f.Write(buf)
+		if err != nil {
+			return fmt.Errorf("wal: write: %w", err)
+		}
+		if n != len(buf) {
+			return fmt.Errorf("wal: short write: %d of %d bytes", n, len(buf))
+		}
+	}
+	faultinject.Crash(faultinject.CrashWALFsyncBefore)
+	if err := faultinject.Err(faultinject.ErrWALSync); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	t0 := time.Now()
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	ms := float64(time.Since(t0)) / float64(time.Millisecond)
+	faultinject.Crash(faultinject.CrashWALFsyncAfter)
+	l.mu.Lock()
+	l.batches++
+	l.fsyncs++
+	if len(l.fsyncMs) < fsyncSampleCap {
+		l.fsyncMs = append(l.fsyncMs, ms)
+	} else {
+		l.fsyncMs[l.fsyncAt] = ms
+	}
+	l.fsyncAt = (l.fsyncAt + 1) % fsyncSampleCap
+	l.mu.Unlock()
+	return nil
+}
+
+// Rotate seals the current segment and starts a new one, returning the
+// paths of all sealed segments (every segment but the new one). Checkpoints
+// call it first: records staged after Rotate land in the new segment, so
+// once the checkpoint's table snapshots are durable the sealed segments are
+// fully covered and can be handed to Prune.
+func (l *Log) Rotate() ([]string, error) {
+	l.ioMu.Lock()
+	defer l.ioMu.Unlock()
+	l.mu.Lock()
+	if l.broken != nil {
+		err := l.broken
+		l.mu.Unlock()
+		return nil, err
+	}
+	seq := l.seq + 1
+	l.mu.Unlock()
+
+	nf, err := os.OpenFile(filepath.Join(l.dir, segName(seq)), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: rotate: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		nf.Close()
+		return nil, fmt.Errorf("wal: rotate: sync dir: %w", err)
+	}
+
+	l.mu.Lock()
+	old := l.f
+	l.f = nf
+	l.seq = seq
+	l.mu.Unlock()
+	if err := old.Close(); err != nil {
+		return nil, fmt.Errorf("wal: rotate: close sealed segment: %w", err)
+	}
+	faultinject.Crash(faultinject.CrashWALRotateSealed)
+
+	paths, seqs, err := listSegments(l.dir)
+	if err != nil {
+		return nil, err
+	}
+	sealed := make([]string, 0, len(paths))
+	for i, p := range paths {
+		if seqs[i] < seq {
+			sealed = append(sealed, p)
+		}
+	}
+	return sealed, nil
+}
+
+// Prune deletes sealed segments (from a previous Rotate) whose records are
+// covered by durable snapshots, and reclaims their bytes from SizeBytes.
+func (l *Log) Prune(sealed []string) error {
+	faultinject.Crash(faultinject.CrashWALPruneBefore)
+	var freed int64
+	for _, p := range sealed {
+		if fi, err := os.Stat(p); err == nil {
+			freed += fi.Size()
+		}
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("wal: prune: %w", err)
+		}
+	}
+	if err := syncDir(l.dir); err != nil {
+		return fmt.Errorf("wal: prune: sync dir: %w", err)
+	}
+	faultinject.Crash(faultinject.CrashWALPruneAfter)
+	l.mu.Lock()
+	l.size -= freed
+	l.mu.Unlock()
+	return nil
+}
+
+// SizeBytes returns the on-disk byte total across live segments (staged
+// bytes included): the checkpoint trigger.
+func (l *Log) SizeBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Stats snapshots the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	sorted := append([]float64(nil), l.fsyncMs...)
+	sort.Float64s(sorted)
+	return Stats{
+		Appends:    l.appends,
+		Batches:    l.batches,
+		Fsyncs:     l.fsyncs,
+		Bytes:      l.bytes,
+		SizeBytes:  l.size,
+		FsyncP50Ms: quantile(sorted, 0.50),
+		FsyncP99Ms: quantile(sorted, 0.99),
+		Broken:     l.broken != nil,
+	}
+}
+
+// quantile reads q from an ascending sample list (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// Close flushes staged records and closes the current segment. Appends
+// after Close fail.
+func (l *Log) Close() error {
+	syncErr := l.Sync()
+	l.ioMu.Lock()
+	defer l.ioMu.Unlock()
+	l.mu.Lock()
+	if l.broken == nil {
+		l.broken = fmt.Errorf("wal: closed")
+	}
+	f := l.f
+	l.f = nil
+	l.mu.Unlock()
+	if f != nil {
+		if err := f.Close(); err != nil && syncErr == nil {
+			return err
+		}
+	}
+	return syncErr
+}

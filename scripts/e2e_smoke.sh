@@ -95,4 +95,44 @@ echo "== GET /metrics"
 ck 200 "$OUT/metrics.json" "${BASE}/metrics"
 grep -q '"live": 1' "$OUT/metrics.json" || { cat "$OUT/metrics.json" >&2; fail "metrics do not report the live session"; }
 
+echo "== durability: acked writes survive kill -9"
+kill "${SERVER_PID}" 2>/dev/null || true
+wait "${SERVER_PID}" 2>/dev/null || true
+WALDIR=$(mktemp -d)
+
+start_durable() {
+  /tmp/qagviewd -addr "127.0.0.1:${PORT}" -wal "${WALDIR}" &
+  SERVER_PID=$!
+  for i in $(seq 1 100); do
+    if curl -fsS "${BASE}/healthz" >/dev/null 2>&1; then return 0; fi
+    [ "$i" = 100 ] && fail "durable server did not become healthy"
+    sleep 0.2
+  done
+}
+
+start_durable
+DSQL='SELECT g, avg(v) AS val FROM durable GROUP BY g ORDER BY val DESC'
+ck 201 "$OUT/dur_table.json" -X POST "${BASE}/v1/tables" \
+  -H 'Content-Type: application/json' \
+  -d '{"name": "durable", "attrs": ["g", "v"], "kinds": {"v": "float"}, "rows": [["a","1"],["b","2"],["c","3"]]}'
+ck 200 "$OUT/dur_append.json" -X POST "${BASE}/v1/tables/durable/rows" \
+  -H 'Content-Type: application/json' \
+  -d '{"rows": [["a","10"], ["d","4"]]}'
+grep -q '"data_version": 2' "$OUT/dur_append.json" || { cat "$OUT/dur_append.json" >&2; fail "durable append should ack data_version 2"; }
+ck 200 "$OUT/dur_q1.json" -X POST "${BASE}/v1/queries" \
+  -H 'Content-Type: application/json' -d "{\"sql\": \"${DSQL}\"}"
+
+echo "   kill -9 then restart against ${WALDIR}"
+kill -9 "${SERVER_PID}"
+wait "${SERVER_PID}" 2>/dev/null || true
+start_durable
+ck 200 "$OUT/dur_tables.json" "${BASE}/v1/tables"
+grep -q '"durable": 2' "$OUT/dur_tables.json" || { cat "$OUT/dur_tables.json" >&2; fail "recovered table should report data_version 2"; }
+ck 200 "$OUT/dur_q2.json" -X POST "${BASE}/v1/queries" \
+  -H 'Content-Type: application/json' -d "{\"sql\": \"${DSQL}\"}"
+cmp -s "$OUT/dur_q1.json" "$OUT/dur_q2.json" || {
+  diff "$OUT/dur_q1.json" "$OUT/dur_q2.json" >&2 || true
+  fail "recovered query result differs from the pre-crash result"
+}
+
 echo "e2e: OK"
