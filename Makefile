@@ -2,12 +2,12 @@
 # replay are the dense-engine target figure), the cluster-space build
 # (packed/slice keys across worker counts), the per-replay sweep unit, the
 # single-run algorithms, and the Delta-Judgment ablation.
-BENCH_ROOT    := BenchmarkFig7PrecomputeKParallel|BenchmarkFig6VaryD|BenchmarkFig8Delta|BenchmarkBuildIndexMovieLens|BenchmarkApplyDelta|BenchmarkExecuteMovieLens|BenchmarkAppendWAL
+BENCH_ROOT    := BenchmarkFig7PrecomputeKParallel|BenchmarkFig6VaryD|BenchmarkFig8Delta|BenchmarkBuildIndexMovieLens|BenchmarkApplyDelta|BenchmarkExecuteMovieLens|BenchmarkAppendWAL|BenchmarkJoinMovieLens|BenchmarkJoinTriangle
 BENCH_SUMMARIZE := BenchmarkSweeperRunD
 BENCH_COUNT   ?= 1
 BENCH_TIME    ?= 3x
 BENCH_OUT     ?= bench.txt
-BENCH_JSON    ?= BENCH_7.json
+BENCH_JSON    ?= BENCH_9.json
 
 .PHONY: build test race bench benchgate fuzz fmt vet lint qagcheck crash ci e2e serve
 
@@ -63,9 +63,12 @@ bench:
 benchgate: bench
 	go run ./cmd/benchcmp -baseline bench_baseline.json -candidate $(BENCH_JSON) -threshold 0.30
 
-# fuzz gives the SQL front end a short adversarial workout.
+# fuzz gives the SQL front end a short adversarial workout: the parser
+# fuzzer, then the differential executor fuzzer (reference vs vectorized at
+# par 1/8 x packed/string keys x hash/generic join paths).
 fuzz:
-	go test -fuzz FuzzParse -fuzztime 30s ./internal/engine/
+	go test -run '^$$' -fuzz FuzzParse -fuzztime 30s ./internal/engine/
+	go test -run '^$$' -fuzz FuzzExec -fuzztime 30s ./internal/engine/
 
 # e2e builds qagviewd and drives its session/solution/diff endpoints.
 e2e:

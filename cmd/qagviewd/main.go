@@ -109,23 +109,38 @@ func run() error {
 		if *sampleRatings > 0 {
 			mlCfg.Ratings = *sampleRatings
 		}
-		rel, err := movielens.Generate(mlCfg)
+		star, err := movielens.GenerateStar(mlCfg)
 		if err != nil {
 			return err
 		}
-		if err := srv.Register(rel); err != nil {
+		flat, err := movielens.Denormalize(star)
+		if err != nil {
 			return err
 		}
-		log.Printf("loaded sample table %s (%d rows)", rel.Name(), rel.NumRows())
+		// Register the denormalized RatingTable for the paper's single-table
+		// running example, plus the star's base tables so multi-table SQL
+		// (FROM ratings JOIN users ... JOIN movies ...) works out of the box.
+		for _, rel := range append(star.Tables(), flat) {
+			if err := srv.Register(rel); err != nil {
+				return err
+			}
+			log.Printf("loaded sample table %s (%d rows)", rel.Name(), rel.NumRows())
+		}
 	case "tpcds":
-		rel, err := tpcds.Generate(tpcds.DefaultConfig())
+		flat, err := tpcds.Generate(tpcds.DefaultConfig())
 		if err != nil {
 			return err
 		}
-		if err := srv.Register(rel); err != nil {
+		star, err := tpcds.GenerateStar(tpcds.DefaultConfig())
+		if err != nil {
 			return err
 		}
-		log.Printf("loaded sample table %s (%d rows)", rel.Name(), rel.NumRows())
+		for _, rel := range append(star.Tables(), flat) {
+			if err := srv.Register(rel); err != nil {
+				return err
+			}
+			log.Printf("loaded sample table %s (%d rows)", rel.Name(), rel.NumRows())
+		}
 	default:
 		return fmt.Errorf("unknown -sample %q (want movielens or tpcds)", *sample)
 	}

@@ -1,14 +1,21 @@
 // Package engine implements the aggregate query substrate of qagview: a
 // small SQL executor for queries of the form the paper runs against
-// PostgreSQL (Section 3):
+// PostgreSQL (Section 3), extended with inner equi-joins so star-schema
+// aggregates run against base tables:
 //
 //	SELECT g1, ..., gm, aggr(x) AS val
-//	FROM t
+//	FROM t1 [AS a1] [JOIN t2 [AS a2] ON c1 = c2 [AND ...]] ...
 //	WHERE p1 AND p2 ...
 //	GROUP BY g1, ..., gm
 //	HAVING count(*) > c
 //	ORDER BY val DESC
 //	LIMIT n
+//
+// Column references may be qualified (`alias.column`); ON conditions are
+// conjunctions of column equalities, each relating the newly joined table to
+// one already in scope. The full dialect — grammar, type and NULL/NaN/±0
+// semantics, the hash-vs-WCOJ join selection rule — is documented in
+// docs/SQL.md.
 //
 // The output of such a query — ranked group-by tuples with a numeric value —
 // is the relation S that the summarization framework consumes.
@@ -107,14 +114,71 @@ type Having struct {
 	Num float64
 }
 
+// TableRef is one FROM-clause relation with an optional alias. The alias (or
+// the table name when no alias is given) is the name column qualifiers
+// resolve against, and must be unique within the query.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// Name returns the name the relation is known by inside the query: the alias
+// if present, else the table name.
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// JoinCond is one ON conjunct `left = right`: both sides are column
+// references (optionally qualified), and only equality is supported.
+type JoinCond struct {
+	Left  string
+	Right string
+}
+
+// Join is one `JOIN table [AS alias] ON cond [AND cond ...]` clause. Each
+// conjunct must relate the newly joined table to a table already in scope,
+// which keeps every query's join graph connected.
+type Join struct {
+	Table TableRef
+	On    []JoinCond
+}
+
 // Query is the parsed form of a supported aggregate query.
 type Query struct {
 	GroupBy []string // also the SELECT group columns, in SELECT order
 	Agg     AggExpr
-	Table   string
+	Table   string // first FROM relation
+	Alias   string // its alias, if any
+	Joins   []Join // additional FROM relations, in clause order
 	Where   []Predicate
 	Having  []Having
 	OrderBy string // output column to order by ("" = no ordering)
 	Desc    bool
 	Limit   int // -1 = no limit
+}
+
+// From returns the first FROM relation as a TableRef.
+func (q *Query) From() TableRef { return TableRef{Table: q.Table, Alias: q.Alias} }
+
+// Tables returns the distinct base tables the query reads, in FROM order.
+// Serving layers use it to tie sessions to every table whose updates
+// invalidate them (a self-join lists its table once).
+func (q *Query) Tables() []string {
+	ts := []string{q.Table}
+	for _, j := range q.Joins {
+		seen := false
+		for _, t := range ts {
+			if t == j.Table.Table {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			ts = append(ts, j.Table.Table)
+		}
+	}
+	return ts
 }

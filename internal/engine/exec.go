@@ -7,6 +7,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"strings"
 
 	"qagview/internal/relation"
 )
@@ -19,9 +20,13 @@ type Result struct {
 	GroupBy []string
 	// ValName is the alias of the aggregate output column.
 	ValName string
-	// Table is the FROM relation the query ran against; serving layers use
-	// it to tie sessions to the table whose updates invalidate them.
+	// Table is the first FROM relation the query ran against, kept for
+	// callers that predate joins.
 	Table string
+	// Tables lists every distinct base table the query read, in FROM order
+	// (len 1 for single-table queries); serving layers use it to tie
+	// sessions to all tables whose updates invalidate them.
+	Tables []string
 	// Rows holds one rendered group-by tuple per output row.
 	Rows [][]string
 	// Vals holds the aggregate value per output row, aligned with Rows.
@@ -52,12 +57,26 @@ type Catalog interface {
 	Table(name string) (*relation.Relation, error)
 }
 
+// joinMode selects the multi-table execution path.
+type joinMode int
+
+const (
+	// joinAuto picks the hash path for acyclic join graphs and the
+	// worst-case-optimal generic path for cyclic ones.
+	joinAuto joinMode = iota
+	// joinHash forces the left-deep binary hash-join plan everywhere.
+	joinHash
+	// joinGeneric forces the worst-case-optimal leapfrog path everywhere.
+	joinGeneric
+)
+
 // execConfig collects execution options.
 type execConfig struct {
 	par        int
 	ctx        context.Context
 	reference  bool
 	stringKeys bool
+	joins      joinMode
 }
 
 // ExecOption customizes query execution. The zero configuration runs the
@@ -90,20 +109,42 @@ func ExecReference() ExecOption {
 // ExecStringKeys forces the vectorized executor's string-key fallback over
 // the packed uint64 group keys (the fallback engages automatically when the
 // group columns' dictionary widths exceed 64 bits), for ablations; output is
-// identical either way.
+// identical either way. The same switch governs hash-join build keys.
 func ExecStringKeys() ExecOption {
 	return func(c *execConfig) { c.stringKeys = true }
 }
 
-// Execute runs a parsed query against the catalog.
+// ExecHashJoin forces the left-deep binary hash-join plan even on cyclic
+// join graphs, where the auto rule would pick the worst-case-optimal path.
+// Output is bit-identical either way; the binary plan can materialize
+// asymptotically larger intermediates (the blowup BenchmarkJoinTriangle
+// measures).
+func ExecHashJoin() ExecOption {
+	return func(c *execConfig) { c.joins = joinHash }
+}
+
+// ExecGenericJoin forces the worst-case-optimal leapfrog path even on
+// acyclic join graphs, where the auto rule would pick hash joins. Output is
+// bit-identical either way.
+func ExecGenericJoin() ExecOption {
+	return func(c *execConfig) { c.joins = joinGeneric }
+}
+
+// Execute runs a parsed query against the catalog. Multi-table queries join
+// their FROM relations first (see join.go) and aggregate over the joined
+// rows; both forms run the same vectorized pipeline and stay bit-identical
+// to the reference executor at every parallelism.
 func Execute(cat Catalog, q *Query, opts ...ExecOption) (*Result, error) {
-	rel, err := cat.Table(q.Table)
-	if err != nil {
-		return nil, err
-	}
 	cfg := execConfig{par: runtime.GOMAXPROCS(0)}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if len(q.Joins) > 0 {
+		return executeJoin(cat, q, cfg)
+	}
+	rel, err := cat.Table(q.Table)
+	if err != nil {
+		return nil, err
 	}
 	p, err := planQuery(rel, q)
 	if err != nil {
@@ -145,31 +186,51 @@ type execPlan struct {
 	preds      []predBind
 }
 
+// lookupCol resolves a (possibly qualified) column reference against the
+// plan's relation. Materialized join relations name their columns with the
+// query's exact reference text, so the direct probe hits; for single-table
+// queries a qualifier naming the FROM table (or its alias) is stripped.
+func lookupCol(rel *relation.Relation, q *Query, name string) (*relation.Column, bool) {
+	if c, ok := rel.ColumnByName(name); ok {
+		return c, true
+	}
+	if len(q.Joins) > 0 {
+		return nil, false
+	}
+	if i := strings.IndexByte(name, '.'); i >= 0 && name[:i] == q.From().Name() {
+		return rel.ColumnByName(name[i+1:])
+	}
+	return nil, false
+}
+
 // planQuery resolves the query's columns and validates types.
 func planQuery(rel *relation.Relation, q *Query) (*execPlan, error) {
 	p := &execPlan{rel: rel, q: q}
 	p.groupCols = make([]*relation.Column, len(q.GroupBy))
 	for i, name := range q.GroupBy {
-		c, ok := rel.ColumnByName(name)
+		c, ok := lookupCol(rel, q, name)
 		if !ok {
 			return nil, fmt.Errorf("engine: unknown group-by column %q in table %q", name, rel.Name())
 		}
 		p.groupCols[i] = c
 	}
 	if q.Agg.Arg != "*" {
-		c, ok := rel.ColumnByName(q.Agg.Arg)
+		c, ok := lookupCol(rel, q, q.Agg.Arg)
 		if !ok {
 			return nil, fmt.Errorf("engine: unknown aggregate column %q in table %q", q.Agg.Arg, rel.Name())
 		}
-		if c.Kind == relation.KindString && q.Agg.Fn != AggCount {
-			return nil, fmt.Errorf("engine: aggregate %s over text column %q", q.Agg.Fn, c.Name)
+		if c.Kind == relation.KindString {
+			// count(textcol) is rejected too: this dialect has no NULLs, so it
+			// could only mean count(*) — and letting it through would make the
+			// executors gather float values from a text column.
+			return nil, fmt.Errorf("engine: aggregate %s over text column %q (use count(*) to count rows)", q.Agg.Fn, c.Name)
 		}
 		p.aggCol = c
 	} else if q.Agg.Fn != AggCount {
 		return nil, fmt.Errorf("engine: %s(*) is not supported", q.Agg.Fn)
 	}
 	for _, pr := range q.Where {
-		c, ok := rel.ColumnByName(pr.Column)
+		c, ok := lookupCol(rel, q, pr.Column)
 		if !ok {
 			return nil, fmt.Errorf("engine: unknown WHERE column %q in table %q", pr.Column, rel.Name())
 		}
@@ -195,12 +256,12 @@ func planQuery(rel *relation.Relation, q *Query) (*execPlan, error) {
 			}
 			continue
 		}
-		c, ok := rel.ColumnByName(h.Agg.Arg)
+		c, ok := lookupCol(rel, q, h.Agg.Arg)
 		if !ok {
 			return nil, fmt.Errorf("engine: unknown HAVING column %q", h.Agg.Arg)
 		}
-		if c.Kind == relation.KindString && h.Agg.Fn != AggCount {
-			return nil, fmt.Errorf("engine: aggregate %s over text column %q in HAVING", h.Agg.Fn, c.Name)
+		if c.Kind == relation.KindString {
+			return nil, fmt.Errorf("engine: aggregate %s over text column %q in HAVING (use count(*) to count rows)", h.Agg.Fn, c.Name)
 		}
 		p.havingCols[i] = c
 	}
@@ -299,7 +360,7 @@ func executeRef(p *execPlan) (*Result, error) {
 	}
 
 	// HAVING filter and final value.
-	res := &Result{GroupBy: append([]string(nil), q.GroupBy...), ValName: q.Agg.Alias, Table: q.Table}
+	res := &Result{GroupBy: append([]string(nil), q.GroupBy...), ValName: q.Agg.Alias, Table: q.Table, Tables: q.Tables()}
 	for _, key := range order {
 		st := groups[key]
 		keep := true

@@ -126,6 +126,14 @@ func (l *lexer) next() (token, error) {
 		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
 			l.pos++
 		}
+		// A '.' followed by an identifier continues a qualified name
+		// (alias.column); the parser rejects names with too many parts.
+		for l.pos+1 < len(l.src) && l.src[l.pos] == '.' && isIdentStart(l.src[l.pos+1]) {
+			l.pos += 2
+			for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+				l.pos++
+			}
+		}
 		return token{tokIdent, l.src[start:l.pos], start}, nil
 	default:
 		return token{}, l.errf(start, "unexpected character %q", string(c))

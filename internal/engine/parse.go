@@ -68,6 +68,33 @@ func (p *parser) ident() (string, error) {
 	return t.text, nil
 }
 
+// bareIdent consumes an identifier that may not be qualified (table names,
+// aliases).
+func (p *parser) bareIdent(what string) (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", p.errf("expected %s, got %s", what, t)
+	}
+	if strings.Contains(t.text, ".") {
+		return "", p.errf("%s %s cannot be qualified", what, t)
+	}
+	p.advance()
+	return t.text, nil
+}
+
+// colRef consumes a column reference: a bare name or alias.column.
+func (p *parser) colRef() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", p.errf("expected column reference, got %s", t)
+	}
+	if strings.Count(t.text, ".") > 1 {
+		return "", p.errf("column reference %s has too many qualifiers", t)
+	}
+	p.advance()
+	return t.text, nil
+}
+
 func (p *parser) number() (float64, error) {
 	t := p.peek()
 	if t.kind != tokNumber {
@@ -85,6 +112,8 @@ var keywords = map[string]bool{
 	"select": true, "from": true, "where": true, "group": true, "by": true,
 	"having": true, "order": true, "limit": true, "and": true, "as": true,
 	"asc": true, "desc": true,
+	"join": true, "on": true, "inner": true, "left": true, "right": true,
+	"full": true, "outer": true, "cross": true, "using": true,
 }
 
 var aggNames = map[string]AggFunc{
@@ -117,6 +146,9 @@ func (p *parser) query() (*Query, error) {
 			if keywords[strings.ToLower(name)] {
 				return nil, p.errf("expected select item, got keyword %s", t)
 			}
+			if strings.Count(name, ".") > 1 {
+				return nil, p.errf("column reference %s has too many qualifiers", t)
+			}
 			p.advance()
 			q.GroupBy = append(q.GroupBy, name)
 		}
@@ -132,11 +164,31 @@ func (p *parser) query() (*Query, error) {
 	if err := p.keyword("from"); err != nil {
 		return nil, err
 	}
-	table, err := p.ident()
+	from, err := p.tableRef()
 	if err != nil {
 		return nil, err
 	}
-	q.Table = table
+	q.Table, q.Alias = from.Table, from.Alias
+	for {
+		if p.isKeyword("inner") {
+			p.advance()
+			if err := p.keyword("join"); err != nil {
+				return nil, err
+			}
+		} else if p.isKeyword("join") {
+			p.advance()
+		} else if p.isKeyword("left") || p.isKeyword("right") || p.isKeyword("full") ||
+			p.isKeyword("outer") || p.isKeyword("cross") {
+			return nil, p.errf("only [INNER] JOIN is supported, got %s", p.peek())
+		} else {
+			break
+		}
+		j, err := p.join()
+		if err != nil {
+			return nil, err
+		}
+		q.Joins = append(q.Joins, j)
+	}
 
 	if p.isKeyword("where") {
 		p.advance()
@@ -162,7 +214,7 @@ func (p *parser) query() (*Query, error) {
 	}
 	var groupCols []string
 	for {
-		col, err := p.ident()
+		col, err := p.colRef()
 		if err != nil {
 			return nil, err
 		}
@@ -198,7 +250,7 @@ func (p *parser) query() (*Query, error) {
 		if err := p.keyword("by"); err != nil {
 			return nil, err
 		}
-		col, err := p.ident()
+		col, err := p.colRef()
 		if err != nil {
 			return nil, err
 		}
@@ -224,6 +276,66 @@ func (p *parser) query() (*Query, error) {
 		q.Limit = int(n)
 	}
 	return q, nil
+}
+
+// tableRef parses `table [AS] [alias]`. A bare identifier after the table
+// name is an alias unless it is a reserved word.
+func (p *parser) tableRef() (TableRef, error) {
+	name, err := p.bareIdent("table name")
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr := TableRef{Table: name}
+	if p.isKeyword("as") {
+		p.advance()
+		t := p.peek()
+		if t.kind == tokIdent && keywords[strings.ToLower(t.text)] {
+			return TableRef{}, p.errf("table alias cannot be the reserved word %s", t)
+		}
+		a, err := p.bareIdent("table alias")
+		if err != nil {
+			return TableRef{}, err
+		}
+		tr.Alias = a
+	} else if t := p.peek(); t.kind == tokIdent && !keywords[strings.ToLower(t.text)] &&
+		!strings.Contains(t.text, ".") {
+		p.advance()
+		tr.Alias = t.text
+	}
+	return tr, nil
+}
+
+// join parses `table [AS alias] ON left = right [AND left = right ...]`.
+func (p *parser) join() (Join, error) {
+	tr, err := p.tableRef()
+	if err != nil {
+		return Join{}, err
+	}
+	if err := p.keyword("on"); err != nil {
+		return Join{}, err
+	}
+	j := Join{Table: tr}
+	for {
+		left, err := p.colRef()
+		if err != nil {
+			return Join{}, err
+		}
+		if t := p.peek(); t.kind != tokOp || t.text != "=" {
+			return Join{}, p.errf("JOIN ON supports only column = column equality, got %s", t)
+		}
+		p.advance()
+		right, err := p.colRef()
+		if err != nil {
+			return Join{}, err
+		}
+		j.On = append(j.On, JoinCond{Left: left, Right: right})
+		if p.isKeyword("and") {
+			p.advance()
+			continue
+		}
+		break
+	}
+	return j, nil
 }
 
 // sameColumns verifies SELECT group columns and GROUP BY columns agree as
@@ -260,6 +372,9 @@ func (p *parser) aggExpr(fn AggFunc) (AggExpr, error) {
 		arg = "*"
 		p.advance()
 	case tokIdent:
+		if strings.Count(t.text, ".") > 1 {
+			return AggExpr{}, p.errf("column reference %s has too many qualifiers", t)
+		}
 		arg = t.text
 		p.advance()
 	default:
@@ -272,7 +387,7 @@ func (p *parser) aggExpr(fn AggFunc) (AggExpr, error) {
 	alias := fmt.Sprintf("%s(%s)", fn, arg)
 	if p.isKeyword("as") {
 		p.advance()
-		a, err := p.ident()
+		a, err := p.bareIdent("alias")
 		if err != nil {
 			return AggExpr{}, err
 		}
@@ -282,7 +397,7 @@ func (p *parser) aggExpr(fn AggFunc) (AggExpr, error) {
 }
 
 func (p *parser) predicate() (Predicate, error) {
-	col, err := p.ident()
+	col, err := p.colRef()
 	if err != nil {
 		return Predicate{}, err
 	}

@@ -643,7 +643,7 @@ func (t *groupTable) mergeMorsel(vp *vecPlan, b *morselBuf) {
 // each group's first matching row, then the shared ORDER BY / LIMIT pass.
 func (t *groupTable) finalizeResult(vp *vecPlan) *Result {
 	q := vp.q
-	res := &Result{GroupBy: append([]string(nil), q.GroupBy...), ValName: q.Agg.Alias, Table: q.Table}
+	res := &Result{GroupBy: append([]string(nil), q.GroupBy...), ValName: q.Agg.Alias, Table: q.Table, Tables: q.Tables()}
 	for g := range t.firstRow {
 		keep := true
 		for h, hv := range q.Having {

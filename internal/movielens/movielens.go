@@ -75,8 +75,26 @@ type movie struct {
 	quality float64
 }
 
-// Generate builds the RatingTable deterministically from cfg.
-func Generate(cfg Config) (*relation.Relation, error) {
+// Star holds the MovieLens base tables before denormalization: the users
+// and movies dimensions and the ratings fact table referencing them by id —
+// the tables the paper joins in PostgreSQL to materialize the RatingTable.
+// Generate denormalizes exactly these, so the star's JoinQuery aggregates
+// reproduce the flat table's bit for bit.
+type Star struct {
+	Users   *relation.Relation // users: user_id, age, agegrp, gender, occupation, zipregion
+	Movies  *relation.Relation // movies: movie_id, year, decade, hdec, genre_*
+	Ratings *relation.Relation // ratings: user_id, movie_id, weekday, hourofday, ts, rating
+}
+
+// Tables returns the star's relations for catalog registration.
+func (s *Star) Tables() []*relation.Relation {
+	return []*relation.Relation{s.Users, s.Movies, s.Ratings}
+}
+
+// GenerateStar builds the base tables deterministically from cfg. Every
+// rating's user_id and movie_id reference the user and movie whose latent
+// factors produced the rating, so joins recover the planted structure.
+func GenerateStar(cfg Config) (*Star, error) {
 	if cfg.Users < 1 || cfg.Movies < 1 || cfg.Ratings < 1 {
 		return nil, fmt.Errorf("movielens: non-positive sizes in %+v", cfg)
 	}
@@ -84,76 +102,159 @@ func Generate(cfg Config) (*relation.Relation, error) {
 	users := makeUsers(rng, cfg.Users)
 	movies := makeMovies(rng, cfg.Movies)
 
-	n := cfg.Ratings
-	cols := map[string]*relation.Column{}
-	strCol := func(name string) *relation.Column {
-		c := &relation.Column{Name: name, Kind: relation.KindString, Str: make([]string, 0, n)}
-		cols[name] = c
-		return c
+	uid := make([]int64, len(users))
+	uage := make([]int64, len(users))
+	uagegrp := make([]string, len(users))
+	ugender := make([]string, len(users))
+	uocc := make([]string, len(users))
+	uzip := make([]string, len(users))
+	for i := range users {
+		u := &users[i]
+		uid[i] = int64(i + 1)
+		uage[i] = int64(u.age)
+		uagegrp[i], ugender[i], uocc[i], uzip[i] = u.agegrp, u.gender, u.occupation, u.zipregion
 	}
-	intCol := func(name string) *relation.Column {
-		c := &relation.Column{Name: name, Kind: relation.KindInt, Int: make([]int64, 0, n)}
-		cols[name] = c
-		return c
+	userRel, err := relation.FromColumns("users",
+		relation.IntCol("user_id", uid),
+		relation.IntCol("age", uage),
+		relation.StringCol("agegrp", uagegrp),
+		relation.StringCol("gender", ugender),
+		relation.StringCol("occupation", uocc),
+		relation.StringCol("zipregion", uzip),
+	)
+	if err != nil {
+		return nil, err
 	}
-	userID := intCol("user_id")
-	age := intCol("age")
-	agegrp := strCol("agegrp")
-	gender := strCol("gender")
-	occupation := strCol("occupation")
-	zipregion := strCol("zipregion")
-	movieID := intCol("movie_id")
-	year := intCol("year")
-	decade := strCol("decade")
-	hdec := strCol("hdec")
-	genreCols := make([]*relation.Column, len(Genres))
-	for gi, g := range Genres {
-		genreCols[gi] = intCol("genre_" + g)
-	}
-	weekday := strCol("weekday")
-	hourofday := intCol("hourofday")
-	ts := intCol("ts")
-	rating := &relation.Column{Name: "rating", Kind: relation.KindFloat, Float: make([]float64, 0, n)}
-	cols["rating"] = rating
 
+	mid := make([]int64, len(movies))
+	myear := make([]int64, len(movies))
+	mdecade := make([]string, len(movies))
+	mhdec := make([]string, len(movies))
+	mgenres := make([][]int64, len(Genres))
+	for gi := range mgenres {
+		mgenres[gi] = make([]int64, len(movies))
+	}
+	for i := range movies {
+		m := &movies[i]
+		mid[i] = int64(i + 1)
+		myear[i] = int64(m.year)
+		mdecade[i], mhdec[i] = m.decade, m.hdec
+		for gi, has := range m.genres {
+			if has {
+				mgenres[gi][i] = 1
+			}
+		}
+	}
+	movieCols := []relation.Column{
+		relation.IntCol("movie_id", mid),
+		relation.IntCol("year", myear),
+		relation.StringCol("decade", mdecade),
+		relation.StringCol("hdec", mhdec),
+	}
+	for gi, g := range Genres {
+		movieCols = append(movieCols, relation.IntCol("genre_"+g, mgenres[gi]))
+	}
+	movieRel, err := relation.FromColumns("movies", movieCols...)
+	if err != nil {
+		return nil, err
+	}
+
+	n := cfg.Ratings
+	fuid := make([]int64, n)
+	fmid := make([]int64, n)
+	fweekday := make([]string, n)
+	fhour := make([]int64, n)
+	fts := make([]int64, n)
+	frating := make([]float64, n)
 	weekdays := []string{"mon", "tue", "wed", "thu", "fri", "sat", "sun"}
 	for i := 0; i < n; i++ {
-		u := &users[rng.Intn(len(users))]
-		m := &movies[rng.Intn(len(movies))]
-		userID.Int = append(userID.Int, int64(rng.Intn(len(users))+1))
-		age.Int = append(age.Int, int64(u.age))
-		agegrp.Str = append(agegrp.Str, u.agegrp)
-		gender.Str = append(gender.Str, u.gender)
-		occupation.Str = append(occupation.Str, u.occupation)
-		zipregion.Str = append(zipregion.Str, u.zipregion)
-		movieID.Int = append(movieID.Int, int64(rng.Intn(len(movies))+1))
-		year.Int = append(year.Int, int64(m.year))
-		decade.Str = append(decade.Str, m.decade)
-		hdec.Str = append(hdec.Str, m.hdec)
-		for gi := range Genres {
-			v := int64(0)
-			if m.genres[gi] {
-				v = 1
-			}
-			genreCols[gi].Int = append(genreCols[gi].Int, v)
+		ui := rng.Intn(len(users))
+		mi := rng.Intn(len(movies))
+		fuid[i] = int64(ui + 1)
+		fmid[i] = int64(mi + 1)
+		fweekday[i] = weekdays[rng.Intn(7)]
+		fhour[i] = int64(rng.Intn(24))
+		fts[i] = 874724710 + int64(rng.Intn(20_000_000))
+		frating[i] = rate(rng, &users[ui], &movies[mi])
+	}
+	ratingRel, err := relation.FromColumns("ratings",
+		relation.IntCol("user_id", fuid),
+		relation.IntCol("movie_id", fmid),
+		relation.StringCol("weekday", fweekday),
+		relation.IntCol("hourofday", fhour),
+		relation.IntCol("ts", fts),
+		relation.FloatCol("rating", frating),
+	)
+	if err != nil {
+		return nil, err
+	}
+	return &Star{Users: userRel, Movies: movieRel, Ratings: ratingRel}, nil
+}
+
+// Denormalize materializes the flat RatingTable from the star's base tables
+// — the in-code equivalent of the paper's pre-join, column for column what
+// the SQL join of ratings, users, and movies produces.
+func Denormalize(s *Star) (*relation.Relation, error) {
+	facts := s.Ratings
+	n := facts.NumRows()
+	col := func(rel *relation.Relation, name string) *relation.Column {
+		c, ok := rel.ColumnByName(name)
+		if !ok {
+			panic("movielens: missing star column " + name)
 		}
-		weekday.Str = append(weekday.Str, weekdays[rng.Intn(7)])
-		hourofday.Int = append(hourofday.Int, int64(rng.Intn(24)))
-		ts.Int = append(ts.Int, 874724710+int64(rng.Intn(20_000_000)))
-		rating.Float = append(rating.Float, rate(rng, u, m))
+		return c
+	}
+	fuid, fmid := col(facts, "user_id").Int, col(facts, "movie_id").Int
+
+	gatherStr := func(rel *relation.Relation, name string, ids []int64) []string {
+		src := col(rel, name).Str
+		out := make([]string, n)
+		for i, id := range ids {
+			out[i] = src[id-1]
+		}
+		return out
+	}
+	gatherInt := func(rel *relation.Relation, name string, ids []int64) []int64 {
+		src := col(rel, name).Int
+		out := make([]int64, n)
+		for i, id := range ids {
+			out[i] = src[id-1]
+		}
+		return out
 	}
 
-	order := []string{"user_id", "age", "agegrp", "gender", "occupation", "zipregion",
-		"movie_id", "year", "decade", "hdec"}
+	out := []relation.Column{
+		relation.IntCol("user_id", append([]int64(nil), fuid...)),
+		relation.IntCol("age", gatherInt(s.Users, "age", fuid)),
+		relation.StringCol("agegrp", gatherStr(s.Users, "agegrp", fuid)),
+		relation.StringCol("gender", gatherStr(s.Users, "gender", fuid)),
+		relation.StringCol("occupation", gatherStr(s.Users, "occupation", fuid)),
+		relation.StringCol("zipregion", gatherStr(s.Users, "zipregion", fuid)),
+		relation.IntCol("movie_id", append([]int64(nil), fmid...)),
+		relation.IntCol("year", gatherInt(s.Movies, "year", fmid)),
+		relation.StringCol("decade", gatherStr(s.Movies, "decade", fmid)),
+		relation.StringCol("hdec", gatherStr(s.Movies, "hdec", fmid)),
+	}
 	for _, g := range Genres {
-		order = append(order, "genre_"+g)
+		out = append(out, relation.IntCol("genre_"+g, gatherInt(s.Movies, "genre_"+g, fmid)))
 	}
-	order = append(order, "weekday", "hourofday", "ts", "rating")
-	out := make([]relation.Column, 0, len(order))
-	for _, name := range order {
-		out = append(out, *cols[name])
-	}
+	out = append(out,
+		relation.StringCol("weekday", append([]string(nil), col(facts, "weekday").Str...)),
+		relation.IntCol("hourofday", append([]int64(nil), col(facts, "hourofday").Int...)),
+		relation.IntCol("ts", append([]int64(nil), col(facts, "ts").Int...)),
+		relation.FloatCol("rating", append([]float64(nil), col(facts, "rating").Float...)),
+	)
 	return relation.FromColumns("RatingTable", out...)
+}
+
+// Generate builds the flat RatingTable deterministically from cfg, by
+// denormalizing the star schema of GenerateStar.
+func Generate(cfg Config) (*relation.Relation, error) {
+	star, err := GenerateStar(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Denormalize(star)
 }
 
 func makeUsers(rng *rand.Rand, n int) []user {
@@ -294,6 +395,24 @@ func rate(rng *rand.Rand, u *user, m *movie) float64 {
 //
 // where is an optional conjunction such as "genre_adventure = 1".
 func Query(m, minCount int, where string) (string, error) {
+	return query(m, minCount, where, "RatingTable")
+}
+
+// JoinQuery renders the same aggregate template over the star schema's base
+// tables, joining ratings to users and movies on their ids:
+//
+//	SELECT <attrs>, avg(rating) AS val FROM ratings
+//	JOIN users ON ratings.user_id = users.user_id
+//	JOIN movies ON ratings.movie_id = movies.movie_id
+//	[WHERE <where>] GROUP BY <attrs> HAVING ... ORDER BY val DESC
+//
+// Its result is bit-identical to Query over the denormalized RatingTable.
+func JoinQuery(m, minCount int, where string) (string, error) {
+	return query(m, minCount, where,
+		"ratings JOIN users ON ratings.user_id = users.user_id JOIN movies ON ratings.movie_id = movies.movie_id")
+}
+
+func query(m, minCount int, where, from string) (string, error) {
 	if m < 1 || m > len(GroupingAttrs) {
 		return "", fmt.Errorf("movielens: m = %d out of range [1, %d]", m, len(GroupingAttrs))
 	}
@@ -304,7 +423,7 @@ func Query(m, minCount int, where string) (string, error) {
 		}
 		attrs += GroupingAttrs[i]
 	}
-	q := "SELECT " + attrs + ", avg(rating) AS val FROM RatingTable"
+	q := "SELECT " + attrs + ", avg(rating) AS val FROM " + from
 	if where != "" {
 		q += " WHERE " + where
 	}

@@ -1,0 +1,60 @@
+package relation
+
+// ColGroups is the sorted code index of one column: every row id of the
+// relation, grouped by the row's dictionary code, with row ids ascending
+// within each group. It is the column-granularity sorted "trie level" the
+// join executor builds its access paths from — hash-join build sides read
+// one representative row per code to key their translation tables, and the
+// worst-case-optimal path sorts each relation's rows by these codes to get
+// its attribute-at-a-time tries.
+type ColGroups struct {
+	// Dict is the dictionary the groups are indexed by.
+	Dict *ColDict
+	// Starts has Card+1 offsets into Rows: code c's rows occupy
+	// Rows[Starts[c]:Starts[c+1]].
+	Starts []int32
+	// Rows holds every row id, grouped by code, ascending within a group.
+	Rows []int32
+}
+
+// RowsFor returns the ascending row ids bearing code c. The slice aliases
+// the shared index and must not be modified.
+func (g *ColGroups) RowsFor(c int32) []int32 { return g.Rows[g.Starts[c]:g.Starts[c+1]] }
+
+// Rep returns the first (lowest) row id bearing code c. Codes are assigned
+// in first-seen row order, so this is also the row that introduced the code.
+func (g *ColGroups) Rep(c int32) int32 { return g.Rows[g.Starts[c]] }
+
+// CodeGroups returns the sorted code index of column col, building it on
+// first use and caching it for the relation's lifetime (relations are
+// immutable, so the index can never go stale). Safe for concurrent use; the
+// returned value is shared and must not be modified.
+func (r *Relation) CodeGroups(col int) *ColGroups {
+	r.dictMu.Lock()
+	defer r.dictMu.Unlock()
+	if r.groups == nil {
+		r.groups = make([]*ColGroups, len(r.cols))
+	}
+	if g := r.groups[col]; g != nil {
+		return g
+	}
+	d := r.dictCodesLocked(col)
+	// Counting sort: one pass for per-code counts, one prefix sum, one
+	// placement pass. O(rows + card), stable, so rows stay ascending.
+	starts := make([]int32, d.Card+1)
+	for _, c := range d.Codes {
+		starts[c+1]++
+	}
+	for c := 1; c <= d.Card; c++ {
+		starts[c] += starts[c-1]
+	}
+	rows := make([]int32, len(d.Codes))
+	next := append([]int32(nil), starts[:d.Card:d.Card]...)
+	for i, c := range d.Codes {
+		rows[next[c]] = int32(i)
+		next[c]++
+	}
+	g := &ColGroups{Dict: d, Starts: starts, Rows: rows}
+	r.groups[col] = g
+	return g
+}

@@ -1,0 +1,61 @@
+package relation
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCodeGroups(t *testing.T) {
+	r := MustFromColumns("t",
+		StringCol("s", []string{"b", "a", "b", "c", "a", "b"}),
+		FloatCol("f", []float64{math.NaN(), 0, math.Copysign(0, -1), math.NaN(), 0, 1}),
+	)
+	for col := 0; col < 2; col++ {
+		d := r.DictCodes(col)
+		g := r.CodeGroups(col)
+		if g.Dict != d {
+			t.Fatalf("col %d: CodeGroups dict != DictCodes dict", col)
+		}
+		if len(g.Starts) != d.Card+1 || len(g.Rows) != r.NumRows() {
+			t.Fatalf("col %d: bad shapes Starts=%d Rows=%d", col, len(g.Starts), len(g.Rows))
+		}
+		seen := make(map[int32]bool)
+		for c := int32(0); c < int32(d.Card); c++ {
+			rows := g.RowsFor(c)
+			if len(rows) == 0 {
+				t.Fatalf("col %d code %d: empty group", col, c)
+			}
+			if g.Rep(c) != rows[0] {
+				t.Fatalf("col %d code %d: Rep %d != rows[0] %d", col, c, g.Rep(c), rows[0])
+			}
+			prev := int32(-1)
+			for _, row := range rows {
+				if row <= prev {
+					t.Fatalf("col %d code %d: rows not strictly ascending: %v", col, c, rows)
+				}
+				prev = row
+				if d.Codes[row] != c {
+					t.Fatalf("col %d row %d: code %d grouped under %d", col, row, d.Codes[row], c)
+				}
+				if seen[row] {
+					t.Fatalf("col %d row %d appears in two groups", col, row)
+				}
+				seen[row] = true
+			}
+		}
+		if len(seen) != r.NumRows() {
+			t.Fatalf("col %d: groups cover %d of %d rows", col, len(seen), r.NumRows())
+		}
+		if again := r.CodeGroups(col); again != g {
+			t.Fatalf("col %d: CodeGroups not cached", col)
+		}
+	}
+	// NaN occurrences collapse to one code; +0 and -0 stay distinct.
+	gf := r.CodeGroups(1)
+	if got := gf.RowsFor(gf.Dict.Codes[0]); len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("NaN group = %v, want [0 3]", got)
+	}
+	if gf.Dict.Codes[1] == gf.Dict.Codes[2] {
+		t.Fatal("+0 and -0 share a code")
+	}
+}

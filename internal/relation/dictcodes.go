@@ -32,6 +32,10 @@ var canonicalNaN = math.Float64bits(math.NaN())
 func (r *Relation) DictCodes(col int) *ColDict {
 	r.dictMu.Lock()
 	defer r.dictMu.Unlock()
+	return r.dictCodesLocked(col)
+}
+
+func (r *Relation) dictCodesLocked(col int) *ColDict {
 	if r.dicts == nil {
 		r.dicts = make([]*ColDict, len(r.cols))
 	}

@@ -111,10 +111,12 @@ type Relation struct {
 	byName map[string]int
 	n      int
 
-	// dicts caches per-column dictionary encodings (see DictCodes), built
-	// lazily under dictMu; the column data itself never changes.
+	// dicts and groups cache per-column dictionary encodings (see DictCodes)
+	// and code-grouped row indexes (see CodeGroups), built lazily under
+	// dictMu; the column data itself never changes.
 	dictMu sync.Mutex
 	dicts  []*ColDict
+	groups []*ColGroups
 }
 
 // FromColumns assembles a relation, validating that column names are unique

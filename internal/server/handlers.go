@@ -366,6 +366,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusServiceUnavailable, "query canceled: %v", err)
 			return
 		}
+		if errors.Is(err, qagview.ErrUnknownTable) {
+			writeErr(w, http.StatusNotFound, "query failed: %v", err)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, "query failed: %v", err)
 		return
 	}
@@ -379,6 +383,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"group_by": res.GroupBy,
 		"val_name": res.ValName,
+		"tables":   res.Tables,
 		"n":        res.N(),
 		"rows":     res.Rows[:limit],
 		"vals":     res.Vals[:limit],
@@ -439,6 +444,10 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusServiceUnavailable, "creating session: %v", err)
 			return
 		}
+		if errors.Is(err, qagview.ErrUnknownTable) {
+			writeErr(w, http.StatusNotFound, "creating session: %v", err)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, "creating session: %v", err)
 		return
 	}
@@ -460,6 +469,7 @@ func (s *Server) sessionInfo(sess *session, v *sessionView, reused bool) map[str
 	info := map[string]any{
 		"session":      sess.ID,
 		"table":        sess.Table,
+		"tables":       sess.Tables,
 		"l":            sess.L,
 		"kmin":         sess.KMin,
 		"kmax":         sess.KMax,

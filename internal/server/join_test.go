@@ -1,0 +1,141 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// joinTestServer is testServer plus a dimension table mapping the fact
+// table's a-values to regions, so join sessions read two tables.
+func joinTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, ts := testServer(t, Config{})
+	resp := post(t, ts, "/v1/tables", map[string]any{
+		"name": "dim",
+		"csv":  "a,region\nA0,east\nA1,west\nA2,east\n",
+	})
+	if resp.code != http.StatusCreated {
+		t.Fatalf("creating dim: %d %s", resp.code, resp.raw)
+	}
+	return srv, ts
+}
+
+const joinSQL = "SELECT region, b, avg(v) AS val FROM t JOIN dim ON t.a = dim.a GROUP BY region, b ORDER BY val DESC"
+
+// TestJoinQueryEndpoint runs a two-table join through POST /v1/queries and
+// checks the error surface for unknown and ambiguous names.
+func TestJoinQueryEndpoint(t *testing.T) {
+	_, ts := joinTestServer(t)
+
+	resp := post(t, ts, "/v1/queries", map[string]any{"sql": joinSQL, "limit": 100})
+	if resp.code != http.StatusOK {
+		t.Fatalf("join query: %d %s", resp.code, resp.raw)
+	}
+	if n := resp.body["n"].(float64); n != 6 { // 2 regions x 3 b-values
+		t.Fatalf("n = %v, want 6", n)
+	}
+	var tables []string
+	for _, v := range resp.body["tables"].([]any) {
+		tables = append(tables, v.(string))
+	}
+	if !reflect.DeepEqual(tables, []string{"t", "dim"}) {
+		t.Fatalf("tables = %v", tables)
+	}
+
+	// Unknown FROM table: 404, and the message names what is registered.
+	resp = post(t, ts, "/v1/queries", map[string]any{
+		"sql": "SELECT region, avg(v) AS val FROM t JOIN nope ON t.a = nope.a GROUP BY region",
+	})
+	if resp.code != http.StatusNotFound {
+		t.Fatalf("unknown join table: %d %s", resp.code, resp.raw)
+	}
+	for _, frag := range []string{"registered tables", "dim", "t"} {
+		if !strings.Contains(resp.raw, frag) {
+			t.Fatalf("error %s does not mention %q", resp.raw, frag)
+		}
+	}
+
+	// Ambiguous unqualified column: a distinct 400.
+	resp = post(t, ts, "/v1/queries", map[string]any{
+		"sql": "SELECT a, avg(v) AS val FROM t JOIN dim ON t.a = dim.a GROUP BY a",
+	})
+	if resp.code != http.StatusBadRequest || !strings.Contains(resp.raw, "ambiguous column") {
+		t.Fatalf("ambiguous column: %d %s", resp.code, resp.raw)
+	}
+}
+
+// TestJoinSessionRefreshOnAppend is the multi-table live loop: a session
+// over a join goes stale when EITHER base table changes, refreshes through
+// the incremental-maintenance path, and its data_version reflects the
+// summed generations of all FROM tables.
+func TestJoinSessionRefreshOnAppend(t *testing.T) {
+	_, ts := joinTestServer(t)
+
+	resp := post(t, ts, "/v1/sessions", map[string]any{
+		"sql": joinSQL, "l": 4, "kmin": 1, "kmax": 4, "ds": []int{0, 1},
+	})
+	if resp.code != http.StatusCreated {
+		t.Fatalf("join session: %d %s", resp.code, resp.raw)
+	}
+	id := resp.body["session"].(string)
+	var sessTables []string
+	for _, v := range resp.body["tables"].([]any) {
+		sessTables = append(sessTables, v.(string))
+	}
+	if !reflect.DeepEqual(sessTables, []string{"t", "dim"}) {
+		t.Fatalf("session tables = %v", sessTables)
+	}
+	// Both tables at generation 1: the session's staleness clock starts at 2.
+	if dv := resp.body["data_version"].(float64); dv != 2 {
+		t.Fatalf("data_version = %v, want 2 (sum of per-table generations)", dv)
+	}
+	waitReady(t, ts, id)
+
+	sol := get(t, ts, "/v1/sessions/"+id+"/solution?k=2&d=1")
+	if sol.code != http.StatusOK || sol.body["data_version"].(float64) != 2 {
+		t.Fatalf("fresh solution: %d %s", sol.code, sol.raw)
+	}
+
+	// Append to the probe-side fact table: high-value rows for an existing
+	// (a, b) pair shift the ranking, and the session's next read must see it.
+	if resp := appendRows(t, ts, "t", [][]string{
+		{"A0", "B0", "C0", "500"}, {"A0", "B0", "C1", "500"},
+	}); resp.code != http.StatusOK {
+		t.Fatalf("append t: %d %s", resp.code, resp.raw)
+	}
+	sol = get(t, ts, "/v1/sessions/"+id+"/solution?k=2&d=1")
+	if sol.code != http.StatusOK {
+		t.Fatalf("solution after fact append: %d %s", sol.code, sol.raw)
+	}
+	if dv := sol.body["data_version"].(float64); dv != 3 {
+		t.Fatalf("data_version after fact append = %v, want 3", dv)
+	}
+
+	// Append to the build-side dimension: rebinding A2 rows into a new region
+	// changes the join result, so the session refreshes again.
+	if resp := appendRows(t, ts, "dim", [][]string{{"A2", "north"}}); resp.code != http.StatusOK {
+		t.Fatalf("append dim: %d %s", resp.code, resp.raw)
+	}
+	info := get(t, ts, "/v1/sessions/"+id)
+	if info.code != http.StatusOK {
+		t.Fatalf("session info after dim append: %d %s", info.code, info.raw)
+	}
+	if dv := info.body["data_version"].(float64); dv != 4 {
+		t.Fatalf("data_version after dim append = %v, want 4", dv)
+	}
+	// A2 now joins both "east" and "north" rows, so the answer space grew:
+	// the refreshed query must include a north group.
+	q := post(t, ts, "/v1/queries", map[string]any{"sql": joinSQL, "limit": 100})
+	found := false
+	for _, row := range q.body["rows"].([]any) {
+		if row.([]any)[0].(string) == "north" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("north region missing after dim append: %s", q.raw)
+	}
+}

@@ -238,9 +238,9 @@ func (d *db) query(ctx context.Context, sql string) (*qagview.Result, error) {
 	return d.db.Query(sql, d.execOptions(ctx)...)
 }
 
-// queryVersioned runs sql and reports the generation of its FROM table as of
-// (at latest) the start of the query, under one read lock so no append can
-// slip between the generation read and the scan.
+// queryVersioned runs sql and reports the summed generation of every FROM
+// table as of (at latest) the start of the query, under one read lock so no
+// append can slip between the generation read and the scan.
 func (d *db) queryVersioned(ctx context.Context, sql string) (*qagview.Result, uint64, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
@@ -248,7 +248,7 @@ func (d *db) queryVersioned(ctx context.Context, sql string) (*qagview.Result, u
 	if err != nil {
 		return nil, 0, err
 	}
-	return res, d.gens[res.Table], nil
+	return res, d.genSumLocked(res.Tables), nil
 }
 
 // generation returns the table's current data generation (0 for unknown
@@ -257,6 +257,24 @@ func (d *db) generation(table string) uint64 {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return d.gens[table]
+}
+
+// generationSum sums the data generations of the given tables. Each
+// per-table generation only ever increments, so the sum is a monotonic
+// staleness clock for a session reading all of them: any append to any
+// joined table moves it forward.
+func (d *db) generationSum(tables []string) uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.genSumLocked(tables)
+}
+
+func (d *db) genSumLocked(tables []string) uint64 {
+	var sum uint64
+	for _, t := range tables {
+		sum += d.gens[t]
+	}
+	return sum
 }
 
 func (d *db) tables() []string {

@@ -28,7 +28,8 @@ import (
 type session struct {
 	ID         string
 	SQL        string
-	Table      string // FROM relation; its data generation drives staleness
+	Table      string   // first FROM relation, kept for display
+	Tables     []string // every FROM relation; their summed generation drives staleness
 	L          int
 	KMin, KMax int
 	Ds         []int
@@ -279,7 +280,9 @@ func (m *sessionManager) build(ctx context.Context, db *db, id, sql string, l, k
 	}
 	buildCtx, cancel := context.WithCancel(context.Background())
 	s := &session{
-		ID: id, SQL: sql, Table: res.Table, L: l, KMin: kMin, KMax: kMax,
+		ID: id, SQL: sql, Table: res.Table,
+		Tables: append([]string(nil), res.Tables...),
+		L:      l, KMin: kMin, KMax: kMax,
 		Ds:      append([]int(nil), ds...),
 		live:    qagview.NewLive(sum),
 		created: time.Now(),
@@ -309,14 +312,14 @@ func (m *sessionManager) build(ctx context.Context, db *db, id, sql string, l, k
 // through the singleflight group.
 func (m *sessionManager) freshen(db *db, s *session) (*sessionView, error) {
 	cur := s.currentView()
-	if s.dead.Load() || cur.dataVersion >= db.generation(s.Table) {
+	if s.dead.Load() || cur.dataVersion >= db.generationSum(s.Tables) {
 		return cur, nil
 	}
 	v, err, _ := m.flight.Do("refresh|"+s.ID, func() (any, error) {
 		s.refreshMu.Lock()
 		defer s.refreshMu.Unlock()
 		cur := s.currentView()
-		want := db.generation(s.Table)
+		want := db.generationSum(s.Tables)
 		if s.dead.Load() || cur.dataVersion >= want {
 			return cur, nil // raced with another refresh or a delete
 		}

@@ -32,6 +32,11 @@ func TestDBRegisterAndQuery(t *testing.T) {
 	}
 	if _, err := db.Table("nope"); err == nil {
 		t.Error("unknown table accepted")
+	} else if !strings.Contains(err.Error(), "registered tables: RatingTable") {
+		t.Errorf("unknown-table error %q does not list registered tables", err)
+	}
+	if _, err := NewDB().Table("nope"); err == nil || !strings.Contains(err.Error(), "no tables registered") {
+		t.Errorf("empty-catalog error = %v", err)
 	}
 	res, err := db.Query(`SELECT agegrp, gender, avg(rating) AS val FROM RatingTable
 		WHERE genre_adventure = 1 GROUP BY agegrp, gender HAVING count(*) > 20 ORDER BY val DESC`)

@@ -82,6 +82,46 @@ ck 200 "$OUT/live_sol2.json" "${BASE}/v1/sessions/${LIVESESS}/solution?k=2&d=1"
 grep -q '"data_version": 2' "$OUT/live_sol2.json" || { cat "$OUT/live_sol2.json" >&2; fail "refreshed solution should carry data_version 2"; }
 grep -q '"pattern"' "$OUT/live_sol2.json" || { cat "$OUT/live_sol2.json" >&2; fail "refreshed solution has no clusters"; }
 
+echo "== multi-table join over the sample star schema"
+JSQL='SELECT agegrp, gender, avg(rating) AS val FROM ratings JOIN users ON ratings.user_id = users.user_id GROUP BY agegrp, gender ORDER BY val DESC'
+ck 200 "$OUT/join_star.json" -X POST "${BASE}/v1/queries" \
+  -H 'Content-Type: application/json' \
+  -d "{\"sql\": \"${JSQL}\", \"limit\": 3}"
+tr -d ' \n' < "$OUT/join_star.json" | grep -q '"tables":\["ratings","users"\]' || { cat "$OUT/join_star.json" >&2; fail "star join response does not list both FROM tables"; }
+
+echo "== join over live tables: append to the build side changes the result"
+JSQL2='SELECT region, live.g, avg(v) AS val FROM live JOIN region ON live.g = region.g GROUP BY region, live.g ORDER BY val DESC'
+ck 201 "$OUT/join_dim.json" -X POST "${BASE}/v1/tables" \
+  -H 'Content-Type: application/json' \
+  -d '{"name": "region", "attrs": ["g", "region"], "rows": [["a","east"],["b","east"],["c","west"]]}'
+ck 200 "$OUT/join_q1.json" -X POST "${BASE}/v1/queries" \
+  -H 'Content-Type: application/json' -d "{\"sql\": \"${JSQL2}\", \"limit\": 100}"
+grep -q '"n": 3' "$OUT/join_q1.json" || { cat "$OUT/join_q1.json" >&2; fail "live join should cover 3 matched groups"; }
+# Rebind group d (unmatched so far) by appending to the dimension: the next
+# read of the same SQL must see the new group — the join result changed.
+ck 200 "$OUT/join_append.json" -X POST "${BASE}/v1/tables/region/rows" \
+  -H 'Content-Type: application/json' -d '{"rows": [["d","north"]]}'
+grep -q '"data_version": 2' "$OUT/join_append.json" || { cat "$OUT/join_append.json" >&2; fail "dimension append should bump its data_version"; }
+ck 200 "$OUT/join_q2.json" -X POST "${BASE}/v1/queries" \
+  -H 'Content-Type: application/json' -d "{\"sql\": \"${JSQL2}\", \"limit\": 100}"
+grep -q '"n": 4' "$OUT/join_q2.json" || { cat "$OUT/join_q2.json" >&2; fail "live join should see the appended dimension row"; }
+grep -q 'north' "$OUT/join_q2.json" || { cat "$OUT/join_q2.json" >&2; fail "appended region missing from join result"; }
+
+echo "== join session tracks every FROM table's generation"
+ck 201 "$OUT/join_sess.json" -X POST "${BASE}/v1/sessions" \
+  -H 'Content-Type: application/json' \
+  -d "{\"sql\": \"${JSQL2}\", \"l\": 4, \"kmin\": 1, \"kmax\": 3, \"ds\": [1]}"
+JOINSESS=$(sed -n 's/.*"session": "\([^"]*\)".*/\1/p' "$OUT/join_sess.json" | head -1)
+[ -n "$JOINSESS" ] || { cat "$OUT/join_sess.json" >&2; fail "no join session id"; }
+# live is at generation 2 (appended earlier) and region at 2: summed version 4.
+grep -q '"data_version": 4' "$OUT/join_sess.json" || { cat "$OUT/join_sess.json" >&2; fail "join session data_version should sum both tables' generations"; }
+ck 200 "$OUT/join_sol1.json" "${BASE}/v1/sessions/${JOINSESS}/solution?k=2&d=1"
+ck 200 "$OUT/join_append2.json" -X POST "${BASE}/v1/tables/region/rows" \
+  -H 'Content-Type: application/json' -d '{"rows": [["e","south"]]}'
+ck 200 "$OUT/join_sol2.json" "${BASE}/v1/sessions/${JOINSESS}/solution?k=2&d=1"
+grep -q '"data_version": 5' "$OUT/join_sol2.json" || { cat "$OUT/join_sol2.json" >&2; fail "join session should refresh when a dimension table changes"; }
+ck 200 "$OUT/join_del.json" -X DELETE "${BASE}/v1/sessions/${JOINSESS}"
+
 echo "== DELETE /v1/sessions/{id} evicts"
 ck 200 "$OUT/del.json" -X DELETE "${BASE}/v1/sessions/${LIVESESS}"
 ck 404 "$OUT/del404.json" "${BASE}/v1/sessions/${LIVESESS}"
