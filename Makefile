@@ -2,12 +2,12 @@
 # replay are the dense-engine target figure), the cluster-space build
 # (packed/slice keys across worker counts), the per-replay sweep unit, the
 # single-run algorithms, and the Delta-Judgment ablation.
-BENCH_ROOT    := BenchmarkFig7PrecomputeKParallel|BenchmarkFig6VaryD|BenchmarkFig8Delta|BenchmarkBuildIndexMovieLens|BenchmarkApplyDelta|BenchmarkExecuteMovieLens|BenchmarkAppendWAL|BenchmarkJoinMovieLens|BenchmarkJoinTriangle
+BENCH_ROOT    := BenchmarkFig7PrecomputeKParallel|BenchmarkFig6VaryD|BenchmarkFig8Delta|BenchmarkBuildIndexMovieLens|BenchmarkApplyDelta|BenchmarkExecuteMovieLens|BenchmarkAppendWAL|BenchmarkJoinMovieLens|BenchmarkJoinTriangle|BenchmarkTraceOverhead
 BENCH_SUMMARIZE := BenchmarkSweeperRunD
 BENCH_COUNT   ?= 1
 BENCH_TIME    ?= 3x
 BENCH_OUT     ?= bench.txt
-BENCH_JSON    ?= BENCH_9.json
+BENCH_JSON    ?= BENCH_10.json
 
 .PHONY: build test race bench benchgate fuzz fmt vet lint qagcheck crash ci e2e serve
 

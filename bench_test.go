@@ -5,6 +5,9 @@
 package qagview_test
 
 import (
+	"context"
+	"io"
+	"log/slog"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -16,6 +19,7 @@ import (
 	"qagview/internal/exp"
 	"qagview/internal/lattice"
 	"qagview/internal/movielens"
+	"qagview/internal/obs"
 	"qagview/internal/summarize"
 	"qagview/internal/tpcds"
 	"qagview/internal/userstudy"
@@ -772,6 +776,53 @@ func BenchmarkJoinTriangle(b *testing.B) {
 				if _, err := db.Query(sql, v.opts...); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkTraceOverhead gates the tentpole's "near-zero cost when off"
+// claim: the same MovieLens query (a) without any context, (b) with a
+// context threaded but no trace attached — the exact path every request
+// takes when tracing is disabled, where StartSpan must return without
+// allocating — and (c) with a forced trace recording the full span tree.
+// The benchcmp gate keeps off/untraced within noise of each other; traced
+// shows what opting in costs.
+func BenchmarkTraceOverhead(b *testing.B) {
+	s := getState(b)
+	sql, err := movielens.Query(4, 50, "genre_adventure = 1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	tracer := obs.NewTracer(16, quiet)
+	for _, v := range []struct {
+		name string
+		opts func() ([]qagview.QueryOption, *obs.Trace)
+	}{
+		{"off", func() ([]qagview.QueryOption, *obs.Trace) {
+			return nil, nil
+		}},
+		{"ctx_untraced", func() ([]qagview.QueryOption, *obs.Trace) {
+			return []qagview.QueryOption{qagview.ExecContext(context.Background())}, nil
+		}},
+		{"traced", func() ([]qagview.QueryOption, *obs.Trace) {
+			ctx, tr := tracer.StartTrace(context.Background(), "bench.query", true)
+			return []qagview.QueryOption{qagview.ExecContext(ctx)}, tr
+		}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			opts, _ := v.opts()
+			if _, err := s.env.ML.Query(sql, opts...); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opts, tr := v.opts()
+				if _, err := s.env.ML.Query(sql, opts...); err != nil {
+					b.Fatal(err)
+				}
+				tracer.Finish(tr)
 			}
 		})
 	}

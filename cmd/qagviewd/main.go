@@ -40,7 +40,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -74,7 +74,14 @@ func run() error {
 	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "http.Server WriteTimeout: full response write (0 = none)")
 	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "http.Server IdleTimeout for keep-alive connections (0 = none)")
 	maxInflightBuilds := flag.Int("max-inflight-builds", 0, "concurrently admitted session builds before 429 (0 = 2xGOMAXPROCS, negative = unlimited)")
+	traceOn := flag.Bool("trace", false, "trace every request into the /debug/traces ring (off: only ?trace=1 and slow-query capture trace)")
+	slowQueryMS := flag.Int("slow-query-ms", 0, "retain and log traces of requests at or above this duration in milliseconds (0 = disabled)")
+	traceRing := flag.Int("trace-ring", 0, "retained traces per ring at /debug/traces (0 = default 256)")
+	debugAddr := flag.String("debug-addr", "", "separate listener for pprof and /debug/traces (empty = disabled); never expose publicly")
 	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	slog.SetDefault(logger)
 
 	cfg := server.Config{
 		MaxSessions:       *maxSessions,
@@ -83,6 +90,10 @@ func run() error {
 		WALDir:            *walDir,
 		RequestTimeout:    *requestTimeout,
 		MaxInflightBuilds: *maxInflightBuilds,
+		TraceEnabled:      *traceOn,
+		TraceRing:         *traceRing,
+		SlowQuery:         time.Duration(*slowQueryMS) * time.Millisecond,
+		Logger:            logger,
 	}
 	if *maxMB == 0 {
 		cfg.MaxCacheBytes = -1
@@ -124,7 +135,7 @@ func run() error {
 			if err := srv.Register(rel); err != nil {
 				return err
 			}
-			log.Printf("loaded sample table %s (%d rows)", rel.Name(), rel.NumRows())
+			logger.Info("loaded sample table", "table", rel.Name(), "rows", rel.NumRows())
 		}
 	case "tpcds":
 		flat, err := tpcds.Generate(tpcds.DefaultConfig())
@@ -139,7 +150,7 @@ func run() error {
 			if err := srv.Register(rel); err != nil {
 				return err
 			}
-			log.Printf("loaded sample table %s (%d rows)", rel.Name(), rel.NumRows())
+			logger.Info("loaded sample table", "table", rel.Name(), "rows", rel.NumRows())
 		}
 	default:
 		return fmt.Errorf("unknown -sample %q (want movielens or tpcds)", *sample)
@@ -154,8 +165,25 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("recovering %s: %w", *walDir, err)
 		}
-		log.Printf("recovered WAL %s: %d snapshots, %d records replayed (%d skipped), %d torn bytes truncated",
-			*walDir, stats.SnapshotsLoaded, stats.RecordsReplayed, stats.RecordsSkipped, stats.TruncatedBytes)
+		logger.Info("recovered WAL",
+			"dir", *walDir,
+			"snapshots", stats.SnapshotsLoaded,
+			"records_replayed", stats.RecordsReplayed,
+			"records_skipped", stats.RecordsSkipped,
+			"torn_bytes_truncated", stats.TruncatedBytes)
+	}
+
+	// The debug listener carries pprof and the trace ring on its own port:
+	// profiling endpoints stay off the service address entirely.
+	if *debugAddr != "" {
+		ds := &http.Server{Addr: *debugAddr, Handler: srv.DebugHandler(), ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			logger.Info("debug listener (pprof, /debug/traces)", "addr", *debugAddr)
+			if err := ds.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "error", err)
+			}
+		}()
+		defer ds.Close()
 	}
 
 	hs := &http.Server{
@@ -168,7 +196,7 @@ func run() error {
 	}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("qagviewd listening on %s", *addr)
+		logger.Info("qagviewd listening", "addr", *addr)
 		errc <- hs.ListenAndServe()
 	}()
 	sigc := make(chan os.Signal, 1)
@@ -180,7 +208,7 @@ func run() error {
 		// Graceful drain: refuse new writes immediately, let in-flight
 		// requests finish, then stop background builds and make everything
 		// acknowledged durable (WAL flush + checkpoint) before exiting.
-		log.Printf("received %v, draining", sig)
+		logger.Info("draining on signal", "signal", sig.String())
 		srv.BeginDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
@@ -190,7 +218,7 @@ func run() error {
 		if err := srv.Drain(); err != nil {
 			return fmt.Errorf("draining: %w", err)
 		}
-		log.Printf("drained cleanly")
+		logger.Info("drained cleanly")
 		return nil
 	}
 }

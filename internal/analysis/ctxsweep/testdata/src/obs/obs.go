@@ -1,0 +1,15 @@
+// Package obs is a hermetic fixture stub of the tracing layer: StartSpan
+// threads a context.Context through the loop body, but starting a span is
+// observability, not a cancellation check — ctxsweep must keep flagging
+// loops whose only ctx use is span plumbing.
+package obs
+
+import "context"
+
+type Span struct{}
+
+func (s *Span) End() {}
+
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, nil
+}

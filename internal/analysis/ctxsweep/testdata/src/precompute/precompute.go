@@ -3,7 +3,11 @@
 // context between iterations.
 package precompute
 
-import "context"
+import (
+	"context"
+
+	"obs"
+)
 
 type sweeper struct{}
 
@@ -61,6 +65,30 @@ func guardedClosure(ctx context.Context, ds []int) {
 			}
 			Run(d)
 		}()
+	}
+}
+
+// Starting a span each iteration threads the context through the body, but
+// span plumbing is observability, not cancellation: the selector is
+// obs.StartSpan, not ctx.Err/ctx.Done, so the loop is still flagged.
+func spannedBlind(ctx context.Context, ds []int) {
+	for _, d := range ds { // want `loop dispatches sweep/replay work \(Run\) without observing ctx`
+		sctx, sp := obs.StartSpan(ctx, "precompute.replay")
+		_ = sctx
+		Run(d)
+		sp.End()
+	}
+}
+
+// A span alongside a real ctx.Err guard satisfies the contract as before.
+func spannedGuarded(ctx context.Context, ds []int) {
+	for _, d := range ds {
+		if ctx.Err() != nil {
+			return
+		}
+		_, sp := obs.StartSpan(ctx, "precompute.replay")
+		Run(d)
+		sp.End()
 	}
 }
 

@@ -1,9 +1,11 @@
 package delta
 
 import (
+	"context"
 	"fmt"
 
 	"qagview/internal/lattice"
+	"qagview/internal/obs"
 	"qagview/internal/precompute"
 	"qagview/internal/summarize"
 )
@@ -46,20 +48,35 @@ func (m *Maintainer) Index() *lattice.Index { return m.ix }
 // incremental Rebase, warming the sweeper onto the new index and bumping the
 // generation. changed is false (and the generation unchanged) when the
 // result is identical to the current answer set.
-func (m *Maintainer) Refresh(rows [][]string, vals []float64) (stats lattice.DeltaStats, changed bool, err error) {
+func (m *Maintainer) Refresh(rows [][]string, vals []float64) (lattice.DeltaStats, bool, error) {
+	return m.RefreshCtx(context.Background(), rows, vals)
+}
+
+// RefreshCtx is Refresh under a caller context, so traced requests (see
+// internal/obs) record the diff and rebase stages as spans. The context
+// carries observability only — refreshes are not cancellable midway.
+func (m *Maintainer) RefreshCtx(ctx context.Context, rows [][]string, vals []float64) (stats lattice.DeltaStats, changed bool, err error) {
+	ctx, sp := obs.StartSpan(ctx, "delta.refresh")
+	defer sp.End()
 	rows, vals = sortResult(rows, vals)
+	_, dsp := obs.StartSpan(ctx, "delta.diff")
 	origin, changed, err := Diff(m.ix.Space, rows, vals)
+	dsp.End()
 	if err != nil {
 		return stats, false, err
 	}
 	if !changed {
+		sp.SetAttr("changed", "false")
 		return stats, false, nil
 	}
+	_, rsp := obs.StartSpan(ctx, "delta.rebase")
 	nix, stats, err := m.ix.Rebase(rows, vals, origin)
+	rsp.End()
 	if err != nil {
 		return stats, false, err
 	}
 	m.install(nix, stats)
+	sp.SetAttr("changed", "true")
 	return stats, true, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 
+	"qagview/internal/obs"
 	"qagview/internal/relation"
 )
 
@@ -31,6 +32,11 @@ type Result struct {
 	Rows [][]string
 	// Vals holds the aggregate value per output row, aligned with Rows.
 	Vals []float64
+	// Profile holds the per-operator execution profile when the query ran
+	// with ExecProfile; nil otherwise. Profiles observe, they never alter
+	// output: the equivalence suites compare result fields with profiling
+	// on and off.
+	Profile Profile `json:"profile,omitempty"`
 }
 
 // N returns the number of result tuples.
@@ -77,6 +83,8 @@ type execConfig struct {
 	reference  bool
 	stringKeys bool
 	joins      joinMode
+	profile    bool
+	prof       *execProf // non-nil iff profile
 }
 
 // ExecOption customizes query execution. The zero configuration runs the
@@ -130,6 +138,13 @@ func ExecGenericJoin() ExecOption {
 	return func(c *execConfig) { c.joins = joinGeneric }
 }
 
+// ExecProfile collects a per-operator execution profile (rows in/out,
+// batches, wall time) into Result.Profile. Profiling observes only — the
+// result rows and values are bit-identical with it on or off.
+func ExecProfile() ExecOption {
+	return func(c *execConfig) { c.profile = true }
+}
+
 // Execute runs a parsed query against the catalog. Multi-table queries join
 // their FROM relations first (see join.go) and aggregate over the joined
 // rows; both forms run the same vectorized pipeline and stay bit-identical
@@ -139,6 +154,24 @@ func Execute(cat Catalog, q *Query, opts ...ExecOption) (*Result, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if cfg.profile {
+		cfg.prof = newExecProf()
+	}
+	ctx, sp := obs.StartSpan(cfg.ctx, "engine.execute")
+	if sp != nil {
+		sp.SetAttr("table", q.From().Table)
+		sp.SetInt("parallelism", int64(cfg.par))
+		cfg.ctx = ctx
+	}
+	res, err := execute(cat, q, cfg)
+	sp.End()
+	if err == nil && cfg.prof != nil {
+		res.Profile = cfg.prof.snapshot()
+	}
+	return res, err
+}
+
+func execute(cat Catalog, q *Query, cfg execConfig) (*Result, error) {
 	if len(q.Joins) > 0 {
 		return executeJoin(cat, q, cfg)
 	}
@@ -146,14 +179,35 @@ func Execute(cat Catalog, q *Query, opts ...ExecOption) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	pSt := cfg.prof.op("plan")
+	t0 := profNow(pSt)
+	_, psp := obs.StartSpan(cfg.ctx, "plan")
 	p, err := planQuery(rel, q)
+	psp.End()
+	pSt.addWall(t0)
 	if err != nil {
 		return nil, err
 	}
 	if cfg.reference {
-		return executeRef(p)
+		return executeProfiledRef(p, cfg)
 	}
 	return executeVec(p, cfg)
+}
+
+// executeProfiledRef runs the reference executor, reporting it as a
+// single opaque operator when profiling (the row-at-a-time oracle has no
+// vectorized operator structure to expose).
+func executeProfiledRef(p *execPlan, cfg execConfig) (*Result, error) {
+	st := cfg.prof.op("reference")
+	t0 := profNow(st)
+	_, sp := obs.StartSpan(cfg.ctx, "reference")
+	res, err := executeRef(p)
+	sp.End()
+	st.addWall(t0)
+	if err == nil {
+		st.addRows(int64(p.rel.NumRows()), int64(len(res.Rows)))
+	}
+	return res, err
 }
 
 // ExecuteSQL parses and runs sql against the catalog.

@@ -7,8 +7,10 @@ import (
 	"math"
 	"math/bits"
 	"strings"
+	"sync"
 	"sync/atomic"
 
+	"qagview/internal/obs"
 	"qagview/internal/pattern"
 	"qagview/internal/relation"
 )
@@ -442,44 +444,91 @@ func (jp *joinPlan) materialize(tuples [][]int32) (*relation.Relation, error) {
 
 // executeJoin plans and runs a multi-table query end to end.
 func executeJoin(cat Catalog, q *Query, cfg execConfig) (*Result, error) {
+	ctx, jsp := obs.StartSpan(cfg.ctx, "join")
+	if jsp != nil {
+		cfg.ctx = ctx
+	}
+	defer jsp.End()
+
+	plSt := cfg.prof.op("join.plan")
+	t0 := profNow(plSt)
+	_, psp := obs.StartSpan(cfg.ctx, "join.plan")
 	jp, err := planJoin(cat, q)
-	if err != nil {
-		return nil, err
+	if err == nil {
+		// Validate the aggregation against the join's output schema before
+		// paying for the join: planQuery over the zero-row shape surfaces
+		// type and ORDER BY errors up front, identically on every path.
+		var srel *relation.Relation
+		if srel, err = jp.schemaRel(); err == nil {
+			_, err = planQuery(srel, q)
+		}
 	}
-	// Validate the aggregation against the join's output schema before
-	// paying for the join: planQuery over the zero-row shape surfaces type
-	// and ORDER BY errors up front, identically on every path.
-	srel, err := jp.schemaRel()
+	psp.End()
+	plSt.addWall(t0)
 	if err != nil {
-		return nil, err
-	}
-	if _, err := planQuery(srel, q); err != nil {
 		return nil, err
 	}
 	var tuples [][]int32
 	switch {
 	case cfg.reference:
-		tuples, err = jp.nestedLoopTuples(cfg.ctx)
+		tuples, err = jp.tuplesOp(cfg, "join.nestedloop", jp.nestedLoopTuples)
 	case cfg.joins == joinGeneric || (cfg.joins == joinAuto && jp.cyclic):
-		tuples, err = jp.leapfrogTuples(cfg.ctx)
+		tuples, err = jp.tuplesOp(cfg, "join.leapfrog", jp.leapfrogTuples)
 	default:
 		tuples, err = jp.hashTuples(cfg)
 	}
 	if err != nil {
 		return nil, err
 	}
+	mSt := cfg.prof.op("join.materialize")
+	t1 := profNow(mSt)
+	_, msp := obs.StartSpan(cfg.ctx, "join.materialize")
 	jrel, err := jp.materialize(tuples)
+	msp.End()
+	mSt.addWall(t1)
 	if err != nil {
 		return nil, err
 	}
+	nTuples := 0
+	if len(tuples) > 0 {
+		nTuples = len(tuples[0])
+	}
+	mSt.addRows(int64(nTuples), int64(jrel.NumRows()))
+	msp.SetInt("rows", int64(jrel.NumRows()))
+	pSt := cfg.prof.op("plan")
+	t2 := profNow(pSt)
+	_, qsp := obs.StartSpan(cfg.ctx, "plan")
 	p, err := planQuery(jrel, q)
+	qsp.End()
+	pSt.addWall(t2)
 	if err != nil {
 		return nil, err
 	}
 	if cfg.reference {
-		return executeRef(p)
+		return executeProfiledRef(p, cfg)
 	}
 	return executeVec(p, cfg)
+}
+
+// tuplesOp runs one whole-join tuple producer (the nested-loop reference
+// or the worst-case-optimal leapfrog) under a span and profile operator.
+func (jp *joinPlan) tuplesOp(cfg execConfig, name string, f func(context.Context) ([][]int32, error)) ([][]int32, error) {
+	st := cfg.prof.op(name)
+	t0 := profNow(st)
+	_, sp := obs.StartSpan(cfg.ctx, name)
+	tuples, err := f(cfg.ctx)
+	sp.End()
+	st.addWall(t0)
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	if len(tuples) > 0 {
+		n = len(tuples[0])
+	}
+	st.addRows(0, int64(n))
+	sp.SetInt("tuples", int64(n))
+	return tuples, nil
 }
 
 // ---- nested-loop reference ----
@@ -644,6 +693,18 @@ func (jp *joinPlan) hashStep(cur [][]int32, step int, cfg execConfig) ([][]int32
 	condIdx := jp.steps[step]
 	nc := len(condIdx)
 
+	// Instrumentation handles for this step; nil (and alloc-free) when
+	// neither profiling nor tracing is on.
+	var bSt, prSt *opStats
+	if cfg.prof != nil {
+		bSt = cfg.prof.op("join.build(" + jp.names[newT] + ")")
+		prSt = cfg.prof.op("join.probe(" + jp.names[newT] + ")")
+	}
+	stepParent := obs.FromContext(cfg.ctx)
+	bsp := stepParent.Child("join.build")
+	bsp.SetAttr("table", jp.names[newT])
+	tBuild := profNow(bSt)
+
 	// Build-side join codes and probe-side translations, one per condition:
 	// trans[k] maps the probe column's native dictionary codes to build
 	// codes (-1 = value absent from the build side), resolved once per
@@ -708,6 +769,12 @@ func (jp *joinPlan) hashStep(cur [][]int32, step int, cfg execConfig) ([][]int32
 		}
 	}
 
+	bsp.SetInt("rows", int64(nb))
+	bsp.End()
+	bSt.observe(int64(nb), int64(nb), tBuild)
+	psp := stepParent.Child("join.probe")
+	psp.SetAttr("table", jp.names[newT])
+
 	// probe translates one morsel of tuples and appends every match to dst.
 	probe := func(lo, hi int, dst [][]int32) [][]int32 {
 		var kb []byte
@@ -764,11 +831,18 @@ func (jp *joinPlan) hashStep(cur [][]int32, step int, cfg execConfig) ([][]int32
 		dst := make([][]int32, newT+1)
 		for m := 0; m < nM; m++ {
 			if cfg.ctx != nil && cfg.ctx.Err() != nil {
+				psp.End()
 				return nil, cfg.ctx.Err()
 			}
 			lo := m * morselRows
-			dst = probe(lo, min(lo+morselRows, nProbe), dst)
+			hi := min(lo+morselRows, nProbe)
+			t0 := profNow(prSt)
+			before := len(dst[newT])
+			dst = probe(lo, hi, dst)
+			prSt.observe(int64(hi-lo), int64(len(dst[newT])-before), t0)
 		}
+		psp.SetInt("tuples", int64(len(dst[newT])))
+		psp.End()
 		return dst, nil
 	}
 
@@ -783,8 +857,11 @@ func (jp *joinPlan) hashStep(cur [][]int32, step int, cfg execConfig) ([][]int32
 	}
 	var next atomic.Int64
 	var cancelled atomic.Bool
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		wg.Add(1)
 		go func() {
+			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= nM {
@@ -796,7 +873,11 @@ func (jp *joinPlan) hashStep(cur [][]int32, step int, cfg execConfig) ([][]int32
 					continue
 				}
 				lo := i * morselRows
-				results[i] = probe(lo, min(lo+morselRows, nProbe), make([][]int32, newT+1))
+				hi := min(lo+morselRows, nProbe)
+				t0 := profNow(prSt)
+				out := probe(lo, hi, make([][]int32, newT+1))
+				prSt.observe(int64(hi-lo), int64(len(out[newT])), t0)
+				results[i] = out
 				close(done[i])
 			}
 		}()
@@ -813,6 +894,9 @@ func (jp *joinPlan) hashStep(cur [][]int32, step int, cfg execConfig) ([][]int32
 			}
 		}
 	}
+	wg.Wait() // probe counters and any enclosing trace stay complete
+	psp.SetInt("tuples", int64(len(out[newT])))
+	psp.End()
 	if cancelled.Load() {
 		return nil, cfg.ctx.Err()
 	}

@@ -1,0 +1,143 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// OpProfile is one operator's execution evidence: rows in and out, batch
+// (morsel) count, and wall time. Wall time is cumulative across workers
+// for parallel operators, so it can exceed the query's elapsed time —
+// the same convention as EXPLAIN ANALYZE's per-worker totals.
+type OpProfile struct {
+	Op        string `json:"op"`
+	RowsIn    int64  `json:"rows_in"`
+	RowsOut   int64  `json:"rows_out"`
+	Batches   int64  `json:"batches,omitempty"`
+	WallNanos int64  `json:"wall_ns"`
+}
+
+// Profile is the per-operator execution profile of one query, in plan
+// order. It is attached to Result when ExecProfile is set; profiles
+// report, they never influence output (equivalence suites run with and
+// without them).
+type Profile []OpProfile
+
+// String renders the profile as an EXPLAIN ANALYZE-style table.
+func (p Profile) String() string {
+	if len(p) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %12s %12s %8s %12s\n", "operator", "rows_in", "rows_out", "batches", "wall")
+	for _, op := range p {
+		fmt.Fprintf(&b, "%-22s %12d %12d %8d %12s\n",
+			op.Op, op.RowsIn, op.RowsOut, op.Batches, time.Duration(op.WallNanos))
+	}
+	return b.String()
+}
+
+// opStats accumulates one operator's counters. Workers update them
+// concurrently through atomics; every method is nil-safe so unprofiled
+// runs thread nil pointers and pay a single branch.
+type opStats struct {
+	rowsIn  atomic.Int64
+	rowsOut atomic.Int64
+	batches atomic.Int64
+	wall    atomic.Int64
+}
+
+// observe folds one batch into the operator's counters. start is the
+// batch start time captured by the caller (only when profiling: callers
+// guard the time.Now with a nil check so the disabled path never reads
+// the clock).
+func (o *opStats) observe(rowsIn, rowsOut int64, start time.Time) {
+	if o == nil {
+		return
+	}
+	o.rowsIn.Add(rowsIn)
+	o.rowsOut.Add(rowsOut)
+	o.batches.Add(1)
+	o.wall.Add(int64(time.Since(start)))
+}
+
+// addWall adds elapsed wall time without a batch (single-shot operators).
+func (o *opStats) addWall(start time.Time) {
+	if o == nil {
+		return
+	}
+	o.wall.Add(int64(time.Since(start)))
+}
+
+func (o *opStats) addRows(in, out int64) {
+	if o == nil {
+		return
+	}
+	o.rowsIn.Add(in)
+	o.rowsOut.Add(out)
+}
+
+// execProf collects the ordered operator list for one Execute call.
+// Operators are registered single-threaded (from the driving goroutine,
+// in plan order); workers only touch the returned *opStats.
+type execProf struct {
+	mu  sync.Mutex
+	ops []profOp
+}
+
+type profOp struct {
+	name string
+	st   *opStats
+}
+
+func newExecProf() *execProf { return &execProf{} }
+
+// op registers (or finds) an operator by name and returns its counters.
+// Returns nil on a nil profiler, which every opStats method absorbs.
+func (p *execProf) op(name string) *opStats {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.ops {
+		if p.ops[i].name == name {
+			return p.ops[i].st
+		}
+	}
+	st := &opStats{}
+	p.ops = append(p.ops, profOp{name: name, st: st})
+	return st
+}
+
+// snapshot renders the profile in registration (plan) order.
+func (p *execProf) snapshot() Profile {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(Profile, len(p.ops))
+	for i, op := range p.ops {
+		out[i] = OpProfile{
+			Op:        op.name,
+			RowsIn:    op.st.rowsIn.Load(),
+			RowsOut:   op.st.rowsOut.Load(),
+			Batches:   op.st.batches.Load(),
+			WallNanos: op.st.wall.Load(),
+		}
+	}
+	return out
+}
+
+// profNow reads the clock only when profiling is on: the disabled path
+// must not pay for time.Now.
+func profNow(o *opStats) time.Time {
+	if o == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}

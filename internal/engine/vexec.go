@@ -1,12 +1,13 @@
 package engine
 
 import (
-	"context"
 	"math"
 	"math/bits"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"qagview/internal/obs"
 	"qagview/internal/pattern"
 	"qagview/internal/relation"
 )
@@ -685,7 +686,10 @@ func executeVec(p *execPlan, cfg execConfig) (*Result, error) {
 
 // run drives the pipeline into t: sequential below two morsels or workers,
 // morsel-parallel otherwise, with the merge always consuming morsels in
-// shard order.
+// shard order. Tracing and profiling observe the same structure on both
+// paths — a "scan" operator (morsel filter/key/gather, per-worker child
+// spans when parallel), a "merge" operator, and a "finalize" operator —
+// and never change claim order or accumulation order.
 func (vp *vecPlan) run(t *groupTable, cfg execConfig) (*Result, error) {
 	n := vp.rel.NumRows()
 	nMorsels := (n + morselRows - 1) / morselRows
@@ -693,34 +697,73 @@ func (vp *vecPlan) run(t *groupTable, cfg execConfig) (*Result, error) {
 	if workers > nMorsels {
 		workers = nMorsels
 	}
+	ctx, vsp := obs.StartSpan(cfg.ctx, "vexec")
+	if vsp != nil {
+		vsp.SetInt("rows", int64(n))
+		vsp.SetInt("morsels", int64(nMorsels))
+		vsp.SetInt("workers", int64(workers))
+		cfg.ctx = ctx
+	}
+	scan := cfg.prof.op("scan")
+	merge := cfg.prof.op("merge")
 	var err error
 	if workers <= 1 {
-		err = vp.runSeq(t, cfg.ctx, n, nMorsels)
+		err = vp.runSeq(t, cfg, n, nMorsels, scan, merge)
 	} else {
-		err = vp.runPar(t, cfg.ctx, n, nMorsels, workers)
+		err = vp.runPar(t, cfg, n, nMorsels, workers, scan, merge)
 	}
 	if err != nil {
+		vsp.End()
 		return nil, err
 	}
-	return t.finalizeResult(vp), nil
+	fin := cfg.prof.op("finalize")
+	t0 := profNow(fin)
+	_, fsp := obs.StartSpan(cfg.ctx, "finalize")
+	res := t.finalizeResult(vp)
+	fsp.End()
+	fin.addWall(t0)
+	fin.addRows(int64(len(t.firstRow)), int64(len(res.Rows)))
+	if fsp != nil {
+		fsp.SetInt("groups", int64(len(t.firstRow)))
+		fsp.SetInt("rows_out", int64(len(res.Rows)))
+	}
+	vsp.End()
+	return res, nil
 }
 
 // runSeq processes and merges every morsel on the calling goroutine,
-// observing ctx between morsels.
-func (vp *vecPlan) runSeq(t *groupTable, ctx context.Context, n, nMorsels int) error {
+// observing ctx between morsels. The scan and merge spans are siblings
+// that both cover the loop: sequential execution interleaves the two
+// stages, and the profile's wall split is the accurate per-stage view.
+func (vp *vecPlan) runSeq(t *groupTable, cfg execConfig, n, nMorsels int, scan, merge *opStats) error {
+	ctx := cfg.ctx
+	parent := obs.FromContext(ctx)
+	scanSp := parent.Child("scan")
+	mergeSp := parent.Child("merge")
 	b := bufPool.Get().(*morselBuf)
 	var err error
+	var selected int64
 	for m := 0; m < nMorsels; m++ {
 		if ctx != nil && ctx.Err() != nil {
 			err = ctx.Err()
 			break
 		}
 		lo, hi := morselBounds(m, n)
+		t0 := profNow(scan)
 		vp.processMorsel(b, lo, hi)
+		scan.observe(int64(hi-lo), int64(len(b.sel)), t0)
+		selected += int64(len(b.sel))
+		t1 := profNow(merge)
+		before := len(t.firstRow)
 		t.mergeMorsel(vp, b)
+		merge.observe(int64(len(b.sel)), int64(len(t.firstRow)-before), t1)
 	}
 	b.reset()
 	bufPool.Put(b)
+	scanSp.SetInt("rows_selected", selected)
+	mergeSp.SetInt("groups", int64(len(t.firstRow)))
+	scanSp.End()
+	mergeSp.End()
 	return err
 }
 
@@ -730,7 +773,10 @@ func (vp *vecPlan) runSeq(t *groupTable, ctx context.Context, n, nMorsels int) e
 // merge owning all float accumulation, is what makes the output identical
 // to the sequential path. The per-morsel done channels give the merge its
 // happens-before edge on results[i].
-func (vp *vecPlan) runPar(t *groupTable, ctx context.Context, n, nMorsels, workers int) error {
+func (vp *vecPlan) runPar(t *groupTable, cfg execConfig, n, nMorsels, workers int, scan, merge *opStats) error {
+	ctx := cfg.ctx
+	parent := obs.FromContext(ctx)
+	scanSp := parent.Child("scan")
 	results := make([]*morselBuf, nMorsels)
 	done := make([]chan struct{}, nMorsels)
 	for i := range done {
@@ -738,11 +784,24 @@ func (vp *vecPlan) runPar(t *groupTable, ctx context.Context, n, nMorsels, worke
 	}
 	var next atomic.Int64
 	var cancelled atomic.Bool
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		// Worker spans are created here, in launch order, so the span
+		// tree's child order is deterministic; the goroutines only fill
+		// in timings and morsel counts.
+		var wsp *obs.Span
+		if scanSp != nil {
+			wsp = scanSp.Child("worker-" + strconv.Itoa(w))
+		}
+		wg.Add(1)
 		go func() {
+			defer wg.Done()
+			var claimed int64
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= nMorsels {
+					wsp.SetInt("morsels", claimed)
+					wsp.End()
 					return
 				}
 				// Observe cancellation between morsels: a cancelled
@@ -753,14 +812,18 @@ func (vp *vecPlan) runPar(t *groupTable, ctx context.Context, n, nMorsels, worke
 					close(done[i])
 					continue
 				}
+				claimed++
 				wb := bufPool.Get().(*morselBuf)
 				lo, hi := morselBounds(i, n)
+				t0 := profNow(scan)
 				vp.processMorsel(wb, lo, hi)
+				scan.observe(int64(hi-lo), int64(len(wb.sel)), t0)
 				results[i] = wb
 				close(done[i])
 			}
 		}()
 	}
+	mergeSp := parent.Child("merge")
 	for i := 0; i < nMorsels; i++ {
 		<-done[i]
 		mb := results[i]
@@ -768,11 +831,21 @@ func (vp *vecPlan) runPar(t *groupTable, ctx context.Context, n, nMorsels, worke
 			continue // claimed after cancellation
 		}
 		if !cancelled.Load() {
+			t1 := profNow(merge)
+			before := len(t.firstRow)
 			t.mergeMorsel(vp, mb)
+			merge.observe(int64(len(mb.sel)), int64(len(t.firstRow)-before), t1)
 		}
 		mb.reset()
 		bufPool.Put(mb)
 	}
+	// Join the workers: they exit as soon as the morsel counter runs dry,
+	// and waiting keeps worker spans and profile counters complete before
+	// the result (and any enclosing trace) is finalized.
+	wg.Wait()
+	mergeSp.SetInt("groups", int64(len(t.firstRow)))
+	mergeSp.End()
+	scanSp.End()
 	if cancelled.Load() {
 		return ctx.Err()
 	}

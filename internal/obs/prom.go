@@ -1,0 +1,357 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromWriter renders the Prometheus text exposition format (version
+// 0.0.4) by hand: the module takes no dependencies, and the subset we
+// emit — counters and gauges with optional labels — is small enough
+// that a correct encoder is ~100 lines. ParseExposition below is the
+// matching validator used by unit tests and the e2e smoke scrape.
+type PromWriter struct {
+	b strings.Builder
+}
+
+// Family starts a new metric family, emitting # HELP and # TYPE lines.
+// typ must be "counter" or "gauge".
+func (w *PromWriter) Family(name, typ, help string) {
+	w.b.WriteString("# HELP ")
+	w.b.WriteString(name)
+	w.b.WriteByte(' ')
+	w.b.WriteString(escapeHelp(help))
+	w.b.WriteByte('\n')
+	w.b.WriteString("# TYPE ")
+	w.b.WriteString(name)
+	w.b.WriteByte(' ')
+	w.b.WriteString(typ)
+	w.b.WriteByte('\n')
+}
+
+// Sample emits one sample line. labels are alternating key, value pairs;
+// values are escaped per the exposition format.
+func (w *PromWriter) Sample(name string, value float64, labels ...string) {
+	w.b.WriteString(name)
+	if len(labels) > 0 {
+		w.b.WriteByte('{')
+		for i := 0; i+1 < len(labels); i += 2 {
+			if i > 0 {
+				w.b.WriteByte(',')
+			}
+			w.b.WriteString(labels[i])
+			w.b.WriteString(`="`)
+			w.b.WriteString(escapeLabel(labels[i+1]))
+			w.b.WriteByte('"')
+		}
+		w.b.WriteByte('}')
+	}
+	w.b.WriteByte(' ')
+	w.b.WriteString(formatValue(value))
+	w.b.WriteByte('\n')
+}
+
+// String returns the rendered exposition body.
+func (w *PromWriter) String() string { return w.b.String() }
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(s)
+}
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// PromFamily is one parsed metric family.
+type PromFamily struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []PromSample
+}
+
+// ParseExposition parses and validates a Prometheus text-format body.
+// It enforces the invariants our encoder (and the scrapers we care
+// about) rely on: every sample belongs to a declared family, TYPE is
+// counter/gauge/histogram/summary/untyped, metric and label names match
+// the Prometheus grammar, values parse as floats, and no family is
+// declared twice.
+func ParseExposition(body string) ([]PromFamily, error) {
+	var fams []PromFamily
+	byName := map[string]int{}
+	for ln, line := range strings.Split(body, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, _ := strings.Cut(rest, " ")
+			if !validMetricName(name) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q in HELP", lineNo, name)
+			}
+			if _, dup := byName[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate family %q", lineNo, name)
+			}
+			byName[name] = len(fams)
+			fams = append(fams, PromFamily{Name: name, Help: strings.TrimPrefix(rest, name+" ")})
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: malformed TYPE line", lineNo)
+			}
+			name, typ := fields[0], fields[1]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: invalid metric type %q", lineNo, typ)
+			}
+			idx, ok := byName[name]
+			if !ok {
+				byName[name] = len(fams)
+				fams = append(fams, PromFamily{Name: name})
+				idx = len(fams) - 1
+			}
+			if fams[idx].Type != "" {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+			}
+			fams[idx].Type = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		famName := s.Name
+		// Histogram/summary series attach to their base family.
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(s.Name, suf); base != s.Name {
+				if _, ok := byName[base]; ok {
+					famName = base
+					break
+				}
+			}
+		}
+		idx, ok := byName[famName]
+		if !ok {
+			return nil, fmt.Errorf("line %d: sample %q has no declared family", lineNo, s.Name)
+		}
+		fams[idx].Samples = append(fams[idx].Samples, s)
+	}
+	for _, f := range fams {
+		if f.Type == "" {
+			return nil, fmt.Errorf("family %q has HELP but no TYPE", f.Name)
+		}
+		if len(f.Samples) == 0 {
+			return nil, fmt.Errorf("family %q declared but has no samples", f.Name)
+		}
+	}
+	return fams, nil
+}
+
+func parseSampleLine(line string) (PromSample, error) {
+	s := PromSample{Labels: map[string]string{}}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var nameEnd int
+	if brace >= 0 {
+		nameEnd = brace
+	} else if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		nameEnd = sp
+	} else {
+		return s, fmt.Errorf("no value on sample line %q", line)
+	}
+	s.Name = rest[:nameEnd]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[nameEnd:]
+	if brace >= 0 {
+		end, err := parseLabels(rest, s.Labels)
+		if err != nil {
+			return s, err
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// A timestamp may follow the value; we only emit value-only lines but
+	// accept timestamps for generality.
+	valStr, _, _ := strings.Cut(rest, " ")
+	v, err := parsePromValue(valStr)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", valStr, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a {k="v",...} block at the start of rest, filling
+// into. It returns the index just past the closing brace.
+func parseLabels(rest string, into map[string]string) (int, error) {
+	i := 1 // past '{'
+	for {
+		if i >= len(rest) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		if rest[i] == '}' {
+			return i + 1, nil
+		}
+		eq := strings.IndexByte(rest[i:], '=')
+		if eq < 0 {
+			return 0, fmt.Errorf("label without '='")
+		}
+		key := rest[i : i+eq]
+		if !validLabelName(key) {
+			return 0, fmt.Errorf("invalid label name %q", key)
+		}
+		i += eq + 1
+		if i >= len(rest) || rest[i] != '"' {
+			return 0, fmt.Errorf("label value for %q not quoted", key)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(rest) {
+				return 0, fmt.Errorf("unterminated label value for %q", key)
+			}
+			c := rest[i]
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					return 0, fmt.Errorf("dangling escape in label %q", key)
+				}
+				switch rest[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case 'n':
+					val.WriteByte('\n')
+				case '"':
+					val.WriteByte('"')
+				default:
+					return 0, fmt.Errorf("bad escape \\%c in label %q", rest[i+1], key)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := into[key]; dup {
+			return 0, fmt.Errorf("duplicate label %q", key)
+		}
+		into[key] = val.String()
+		if i < len(rest) && rest[i] == ',' {
+			i++
+		}
+	}
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "NaN":
+		return math.NaN(), nil
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// FindSample locates a sample by family name and an exact label subset
+// match (every given label must be present with the given value). It is
+// the lookup helper tests and promlint use.
+func FindSample(fams []PromFamily, name string, labels map[string]string) (PromSample, bool) {
+	for _, f := range fams {
+		if f.Name != name {
+			continue
+		}
+		for _, s := range f.Samples {
+			match := true
+			for k, v := range labels {
+				if s.Labels[k] != v {
+					match = false
+					break
+				}
+			}
+			if match {
+				return s, true
+			}
+		}
+	}
+	return PromSample{}, false
+}
+
+// FamilyNames returns the sorted names of all parsed families.
+func FamilyNames(fams []PromFamily) []string {
+	names := make([]string, 0, len(fams))
+	for _, f := range fams {
+		names = append(names, f.Name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPromRoundTrip(t *testing.T) {
+	var w PromWriter
+	w.Family("qag_requests_total", "counter", "Requests by route and code.")
+	w.Sample("qag_requests_total", 12, "route", "POST /v1/queries", "code", "200")
+	w.Sample("qag_requests_total", 3, "route", "GET /healthz", "code", "200")
+	w.Family("qag_heap_bytes", "gauge", "Heap in use.")
+	w.Sample("qag_heap_bytes", 1048576)
+	w.Family("qag_weird", "gauge", `escapes \ and "quotes"`)
+	w.Sample("qag_weird", math.Inf(1), "v", "a\\b\"c\nd")
+
+	fams, err := ParseExposition(w.String())
+	if err != nil {
+		t.Fatalf("our own output failed to parse: %v\n%s", err, w.String())
+	}
+	if len(fams) != 3 {
+		t.Fatalf("families %d, want 3", len(fams))
+	}
+	s, ok := FindSample(fams, "qag_requests_total", map[string]string{"route": "POST /v1/queries"})
+	if !ok || s.Value != 12 || s.Labels["code"] != "200" {
+		t.Fatalf("lookup failed: %+v ok=%v", s, ok)
+	}
+	if s, ok := FindSample(fams, "qag_heap_bytes", nil); !ok || s.Value != 1048576 {
+		t.Fatalf("unlabeled lookup: %+v ok=%v", s, ok)
+	}
+	s, ok = FindSample(fams, "qag_weird", nil)
+	if !ok || !math.IsInf(s.Value, 1) {
+		t.Fatalf("inf value: %+v", s)
+	}
+	if s.Labels["v"] != "a\\b\"c\nd" {
+		t.Fatalf("label escaping roundtrip: %q", s.Labels["v"])
+	}
+	names := FamilyNames(fams)
+	if strings.Join(names, ",") != "qag_heap_bytes,qag_requests_total,qag_weird" {
+		t.Fatalf("names %v", names)
+	}
+}
+
+func TestParseExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample without family": "orphan_metric 1\n",
+		"bad type":              "# HELP m h\n# TYPE m enum\nm 1\n",
+		"no TYPE":               "# HELP m h\nm 1\n",
+		"family without sample": "# HELP m h\n# TYPE m gauge\n",
+		"bad metric name":       "# HELP 9bad h\n# TYPE 9bad gauge\n9bad 1\n",
+		"bad value":             "# HELP m h\n# TYPE m gauge\nm notafloat\n",
+		"unterminated labels":   "# HELP m h\n# TYPE m gauge\nm{a=\"x\n",
+		"duplicate family":      "# HELP m h\n# TYPE m gauge\nm 1\n# HELP m h\n# TYPE m gauge\nm 2\n",
+		"duplicate label":       "# HELP m h\n# TYPE m gauge\nm{a=\"1\",a=\"2\"} 3\n",
+		"reserved label":        "# HELP m h\n# TYPE m gauge\nm{__a=\"1\"} 3\n",
+	}
+	for name, body := range cases {
+		if _, err := ParseExposition(body); err == nil {
+			t.Errorf("%s: expected parse error for %q", name, body)
+		}
+	}
+}
+
+func TestParseExpositionAcceptsTimestampAndComments(t *testing.T) {
+	body := "# scraped by test\n# HELP m h\n# TYPE m counter\nm{a=\"b\"} 4 1712345678\n"
+	fams, err := ParseExposition(body)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if s, ok := FindSample(fams, "m", nil); !ok || s.Value != 4 {
+		t.Fatalf("sample %+v ok=%v", s, ok)
+	}
+}

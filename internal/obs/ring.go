@@ -1,0 +1,295 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// withSpan returns a context carrying sp as the current span.
+func withSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// Trace is one completed (or in-flight) request-scoped span tree.
+type Trace struct {
+	ID    string
+	Name  string
+	Start time.Time
+	Root  *Span
+
+	dur time.Duration // set by Tracer.Finish
+}
+
+// Snapshot renders the trace as a JSON-ready tree.
+func (tr *Trace) Snapshot() TraceSnapshot {
+	if tr == nil {
+		return TraceSnapshot{}
+	}
+	root := tr.Root.Snapshot(tr.Start)
+	dur := tr.dur
+	if dur == 0 {
+		dur = time.Since(tr.Start)
+	}
+	return TraceSnapshot{
+		ID:         tr.ID,
+		Name:       tr.Name,
+		Start:      tr.Start.UTC().Format(time.RFC3339Nano),
+		DurationMS: float64(dur) / float64(time.Millisecond),
+		Spans:      root.spanCount(),
+		Root:       root,
+	}
+}
+
+// TraceSnapshot is the wire form of a trace served at /debug/traces/{id}
+// and inlined by ?trace=1.
+type TraceSnapshot struct {
+	ID         string       `json:"id"`
+	Name       string       `json:"name"`
+	Start      string       `json:"start"`
+	DurationMS float64      `json:"duration_ms"`
+	Spans      int          `json:"spans"`
+	Root       SpanSnapshot `json:"root"`
+}
+
+// TraceSummary is the index form served at /debug/traces.
+type TraceSummary struct {
+	ID         string  `json:"id"`
+	Name       string  `json:"name"`
+	Start      string  `json:"start"`
+	DurationMS float64 `json:"duration_ms"`
+	Slow       bool    `json:"slow,omitempty"`
+}
+
+// Tracer owns the enabled gate, trace-ID sequence, and two fixed-size
+// rings: recent completed traces (overwritten in arrival order) and slow
+// traces (retained past ring churn, and logged through slog).
+type Tracer struct {
+	enabled   atomic.Bool
+	slowNanos atomic.Int64
+	seq       atomic.Uint64
+	prefix    string
+	logger    *slog.Logger
+
+	mu        sync.Mutex
+	recent    []*Trace // ring of cap ringSize
+	next      int
+	total     uint64
+	slow      []*Trace // ring of cap ringSize
+	slowNext  int
+	slowTotal uint64
+	ringSize  int
+}
+
+// DefaultRingSize is the per-ring trace capacity when none is configured.
+const DefaultRingSize = 256
+
+// NewTracer returns a disabled tracer with the given ring capacity
+// (DefaultRingSize if size <= 0). logger may be nil; slow-trace logging
+// then uses slog.Default().
+func NewTracer(size int, logger *slog.Logger) *Tracer {
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &Tracer{prefix: bootPrefix(), logger: logger, ringSize: size}
+}
+
+// SetEnabled flips the global tracing gate.
+func (t *Tracer) SetEnabled(on bool) { t.enabled.Store(on) }
+
+// Enabled reports whether tracing is globally on. One atomic load: this
+// is the per-request fast path.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// SetSlowThreshold sets the duration at or above which a finished trace
+// is retained in the slow ring and logged. Zero disables slow capture.
+func (t *Tracer) SetSlowThreshold(d time.Duration) { t.slowNanos.Store(int64(d)) }
+
+// SlowThreshold returns the armed slow-capture threshold (0 = disarmed).
+func (t *Tracer) SlowThreshold() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.slowNanos.Load())
+}
+
+// StartTrace begins a new trace rooted at name and returns a context
+// carrying the root span. When tracing is disabled and force is false it
+// returns (ctx, nil); Finish(nil) is a no-op, so callers need no branches.
+// force starts the trace regardless of the gate (the ?trace=1 opt-in).
+func (t *Tracer) StartTrace(ctx context.Context, name string, force bool) (context.Context, *Trace) {
+	if t == nil || (!t.enabled.Load() && !force) {
+		return ctx, nil
+	}
+	now := time.Now()
+	tr := &Trace{
+		ID:    t.prefix + "-" + strconv.FormatUint(t.seq.Add(1), 16),
+		Name:  name,
+		Start: now,
+		Root:  &Span{name: name, start: now},
+	}
+	return withSpan(ctx, tr.Root), tr
+}
+
+// Finish ends the trace's root span, records the trace in the recent
+// ring, and — when it crossed the slow threshold — in the slow ring plus
+// the structured log. Finish(nil) is a no-op.
+func (t *Tracer) Finish(tr *Trace) {
+	if t == nil || tr == nil {
+		return
+	}
+	tr.Root.End()
+	tr.dur = time.Since(tr.Start)
+
+	slowAt := time.Duration(t.slowNanos.Load())
+	isSlow := slowAt > 0 && tr.dur >= slowAt
+
+	t.mu.Lock()
+	if len(t.recent) < t.ringSize {
+		t.recent = append(t.recent, tr)
+	} else {
+		t.recent[t.next] = tr
+	}
+	t.next = (t.next + 1) % t.ringSize
+	t.total++
+	if isSlow {
+		if len(t.slow) < t.ringSize {
+			t.slow = append(t.slow, tr)
+		} else {
+			t.slow[t.slowNext] = tr
+		}
+		t.slowNext = (t.slowNext + 1) % t.ringSize
+		t.slowTotal++
+	}
+	t.mu.Unlock()
+
+	if isSlow {
+		t.logger.Warn("slow trace",
+			"trace_id", tr.ID,
+			"name", tr.Name,
+			"duration_ms", float64(tr.dur)/float64(time.Millisecond),
+			"threshold_ms", float64(slowAt)/float64(time.Millisecond))
+	}
+}
+
+// Recent returns summaries of retained traces, newest first. Slow-ring
+// traces that have already churned out of the recent ring are appended
+// after the recent ones, also newest first.
+func (t *Tracer) Recent() []TraceSummary {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	recent := t.ringNewestFirst(t.recent, t.next)
+	slow := t.ringNewestFirst(t.slow, t.slowNext)
+	t.mu.Unlock()
+
+	seen := make(map[string]bool, len(recent))
+	var out []TraceSummary
+	for _, tr := range recent {
+		seen[tr.ID] = true
+		out = append(out, summarize(tr, false))
+	}
+	for _, tr := range slow {
+		if !seen[tr.ID] {
+			out = append(out, summarize(tr, true))
+		}
+	}
+	// Mark slowness on entries still present in the recent ring.
+	slowIDs := make(map[string]bool, len(slow))
+	for _, tr := range slow {
+		slowIDs[tr.ID] = true
+	}
+	for i := range out {
+		if slowIDs[out[i].ID] {
+			out[i].Slow = true
+		}
+	}
+	return out
+}
+
+// ringNewestFirst flattens a ring (next = index of the oldest entry once
+// full) into newest-first order. Caller holds t.mu.
+func (t *Tracer) ringNewestFirst(ring []*Trace, next int) []*Trace {
+	out := make([]*Trace, 0, len(ring))
+	for i := 0; i < len(ring); i++ {
+		idx := next - 1 - i
+		for idx < 0 {
+			idx += len(ring)
+		}
+		out = append(out, ring[idx%len(ring)])
+	}
+	return out
+}
+
+func summarize(tr *Trace, slow bool) TraceSummary {
+	return TraceSummary{
+		ID:         tr.ID,
+		Name:       tr.Name,
+		Start:      tr.Start.UTC().Format(time.RFC3339Nano),
+		DurationMS: float64(tr.dur) / float64(time.Millisecond),
+		Slow:       slow,
+	}
+}
+
+// Get returns the full snapshot of a retained trace by ID.
+func (t *Tracer) Get(id string) (TraceSnapshot, bool) {
+	if t == nil {
+		return TraceSnapshot{}, false
+	}
+	t.mu.Lock()
+	var found *Trace
+	for _, tr := range t.recent {
+		if tr.ID == id {
+			found = tr
+			break
+		}
+	}
+	if found == nil {
+		for _, tr := range t.slow {
+			if tr.ID == id {
+				found = tr
+				break
+			}
+		}
+	}
+	t.mu.Unlock()
+	if found == nil {
+		return TraceSnapshot{}, false
+	}
+	return found.Snapshot(), true
+}
+
+// RingStats describes ring occupancy for /metrics gauges.
+type RingStats struct {
+	Enabled   bool   `json:"enabled"`
+	Capacity  int    `json:"capacity"`
+	Recent    int    `json:"recent"`
+	Slow      int    `json:"slow"`
+	Total     uint64 `json:"total"`
+	SlowTotal uint64 `json:"slow_total"`
+}
+
+// Stats reports ring occupancy and lifetime totals.
+func (t *Tracer) Stats() RingStats {
+	if t == nil {
+		return RingStats{}
+	}
+	t.mu.Lock()
+	st := RingStats{
+		Enabled:   t.enabled.Load(),
+		Capacity:  t.ringSize,
+		Recent:    len(t.recent),
+		Slow:      len(t.slow),
+		Total:     t.total,
+		SlowTotal: t.slowTotal,
+	}
+	t.mu.Unlock()
+	return st
+}

@@ -15,6 +15,7 @@ import (
 
 	"qagview/internal/intervaltree"
 	"qagview/internal/lattice"
+	"qagview/internal/obs"
 	"qagview/internal/summarize"
 )
 
@@ -153,6 +154,15 @@ func validateGrid(kMin, kMax int, ds []int) error {
 }
 
 func runStore(sw *summarize.Sweeper, kMin, kMax int, ds []int, cfg config) (*Store, error) {
+	ctx, sp := obs.StartSpan(cfg.ctx, "precompute.run")
+	if sp != nil {
+		sp.SetInt("l", int64(sw.L()))
+		sp.SetInt("k_min", int64(kMin))
+		sp.SetInt("k_max", int64(kMax))
+		sp.SetInt("ds", int64(len(ds)))
+		cfg.ctx = ctx
+	}
+	defer sp.End()
 	st := &Store{
 		ix: sw.Index(), L: sw.L(), KMin: kMin, KMax: kMax,
 		Ds:   append([]int(nil), ds...),
@@ -192,12 +202,16 @@ func runAll(ctx context.Context, sw *summarize.Sweeper, ds []int, kMin, kMax, pa
 	if workers > len(ds) {
 		workers = len(ds)
 	}
+	parent := obs.FromContext(ctx)
 	if workers <= 1 {
 		for i, d := range ds {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
+			rsp := parent.Child("replay")
+			rsp.SetInt("d", int64(d))
 			e, err := runOne(sw, d, kMin, kMax)
+			rsp.End()
 			if err != nil {
 				return nil, err
 			}
@@ -216,7 +230,10 @@ func runAll(ctx context.Context, sw *summarize.Sweeper, ds []int, kMin, kMax, pa
 				if ctx.Err() != nil {
 					continue // drain without starting new replays
 				}
+				rsp := parent.Child("replay")
+				rsp.SetInt("d", int64(ds[i]))
 				entries[i], errs[i] = runOne(sw, ds[i], kMin, kMax)
+				rsp.End()
 			}
 		}()
 	}

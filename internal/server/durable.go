@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"os"
 	"path/filepath"
 	"strings"
@@ -278,7 +277,7 @@ func (s *Server) maybeCheckpoint() {
 			d.mu.Lock()
 			d.stats.CheckpointErrors++
 			d.mu.Unlock()
-			log.Printf("qagviewd: checkpoint failed (WAL keeps covering all tables): %v", err)
+			s.logger.Warn("checkpoint failed (WAL keeps covering all tables)", "error", err)
 		}
 	}()
 }

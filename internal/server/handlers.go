@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"errors"
@@ -11,6 +12,7 @@ import (
 	"strings"
 
 	"qagview"
+	"qagview/internal/obs"
 )
 
 // writeJSON renders v as the response body with the given status.
@@ -22,9 +24,27 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeErr renders a JSON error envelope.
+// writeErr renders a JSON error envelope, stamped with the request id when
+// the middleware stack assigned one, so client-side error reports correlate
+// with server logs and traces.
 func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+	body := map[string]string{"error": fmt.Sprintf(format, args...)}
+	if rid := requestID(w); rid != "" {
+		body["request_id"] = rid
+	}
+	writeJSON(w, code, body)
+}
+
+// inlineTrace adds the request's span tree to a response body when the
+// client opted in with ?trace=1. The snapshot is taken before the trace
+// finishes, so the root span renders open; all the work spans are complete.
+func inlineTrace(body map[string]any, w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("trace") != "1" {
+		return
+	}
+	if tr := requestTrace(w); tr != nil {
+		body["trace"] = tr.Snapshot()
+	}
 }
 
 // decodeBody strictly decodes the request body into v.
@@ -115,7 +135,9 @@ func buildRelation(req tableRequest) (*qagview.Relation, error) {
 // stageRecord builds the WAL staging hook for a mutating request, or nil
 // when durability is off. The record payload is the request JSON itself, so
 // replay re-runs the identical parse-and-apply path the live request took.
-func (s *Server) stageRecord(w http.ResponseWriter, op byte, table string, req any) (func(uint64) func() error, bool) {
+// Traced requests get a "wal.append" span around the durable wait, covering
+// the group-commit fsync the acknowledgement blocks on.
+func (s *Server) stageRecord(ctx context.Context, w http.ResponseWriter, op byte, table string, req any) (func(uint64) func() error, bool) {
 	if s.dur == nil {
 		return nil, true
 	}
@@ -129,7 +151,21 @@ func (s *Server) stageRecord(w http.ResponseWriter, op byte, table string, req a
 		writeErr(w, http.StatusInternalServerError, "encoding WAL record: %v", err)
 		return nil, false
 	}
-	return s.dur.stageFunc(l, op, table, payload), true
+	stage := s.dur.stageFunc(l, op, table, payload)
+	parent := obs.FromContext(ctx)
+	if parent == nil {
+		return stage, true
+	}
+	return func(gen uint64) func() error {
+		wait := stage(gen)
+		return func() error {
+			sp := parent.Child("wal.append")
+			sp.SetAttr("table", table)
+			err := wait()
+			sp.End()
+			return err
+		}
+	}, true
 }
 
 // writeDBErr maps a catalog write error: durability failures are 503 (the
@@ -156,7 +192,7 @@ func (s *Server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	stage, ok := s.stageRecord(w, walOpCreate, req.Name, req)
+	stage, ok := s.stageRecord(r.Context(), w, walOpCreate, req.Name, req)
 	if !ok {
 		return
 	}
@@ -212,7 +248,7 @@ func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "provide exactly one of rows or csv")
 		return
 	}
-	stage, ok := s.stageRecord(w, walOpAppend, name, req)
+	stage, ok := s.stageRecord(r.Context(), w, walOpAppend, name, req)
 	if !ok {
 		return
 	}
@@ -349,6 +385,9 @@ type queryRequest struct {
 	// Limit bounds the rows echoed back (default 10; the full ranked result
 	// stays server-side — sessions re-run the query).
 	Limit int `json:"limit,omitempty"`
+	// Profile adds a per-operator execution profile (rows, batches, wall
+	// time — EXPLAIN ANALYZE over the vectorized pipeline) to the response.
+	Profile bool `json:"profile,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -360,7 +399,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "missing sql")
 		return
 	}
-	res, err := s.db.query(r.Context(), req.SQL)
+	var extra []qagview.QueryOption
+	if req.Profile {
+		extra = append(extra, qagview.ExecProfile())
+	}
+	res, err := s.db.query(r.Context(), req.SQL, extra...)
 	if err != nil {
 		if isDeadline(err) {
 			writeErr(w, http.StatusServiceUnavailable, "query canceled: %v", err)
@@ -380,14 +423,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if limit > res.N() {
 		limit = res.N()
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"group_by": res.GroupBy,
 		"val_name": res.ValName,
 		"tables":   res.Tables,
 		"n":        res.N(),
 		"rows":     res.Rows[:limit],
 		"vals":     res.Vals[:limit],
-	})
+	}
+	if req.Profile {
+		body["profile"] = res.Profile
+		body["profile_text"] = res.Profile.String()
+	}
+	inlineTrace(body, w, r)
+	writeJSON(w, http.StatusOK, body)
 }
 
 // ---- sessions ----
@@ -453,7 +502,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	}
 	// A reused session may predate table appends; reconcile it like every
 	// read path so the create response's data_version is never stale.
-	v, err := s.sessions.freshen(s.db, sess)
+	v, err := s.sessions.freshen(r.Context(), s.db, sess)
 	if err != nil {
 		writeErr(w, http.StatusConflict, "session %s is stale and could not refresh: %v", sess.ID, err)
 		return
@@ -518,7 +567,7 @@ func (s *Server) freshSession(w http.ResponseWriter, r *http.Request) (*session,
 	if !ok {
 		return nil, nil, false
 	}
-	v, err := s.sessions.freshen(s.db, sess)
+	v, err := s.sessions.freshen(r.Context(), s.db, sess)
 	if err != nil {
 		writeErr(w, http.StatusConflict, "session %s is stale and could not refresh: %v", sess.ID, err)
 		return nil, nil, false
@@ -632,7 +681,12 @@ func (s *Server) handleSolution(w http.ResponseWriter, r *http.Request) {
 	if !checkParams(w, sess, k, d) {
 		return
 	}
+	_, sp := obs.StartSpan(r.Context(), "solution")
+	sp.SetInt("k", int64(k))
+	sp.SetInt("d", int64(d))
 	sol, source, err := solutionFor(sess, v, k, d)
+	sp.SetAttr("source", source)
+	sp.End()
 	if err != nil {
 		// In-range parameters the sweep has no solution for (k below the
 		// smallest size the merge reached for this D).
@@ -640,7 +694,7 @@ func (s *Server) handleSolution(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	expand := r.URL.Query().Get("expand") == "1"
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"session":      sess.ID,
 		"k":            k,
 		"d":            d,
@@ -649,7 +703,9 @@ func (s *Server) handleSolution(w http.ResponseWriter, r *http.Request) {
 		"objective":    sol.AvgValue(),
 		"covered":      len(sol.Covered),
 		"clusters":     renderSolution(v, sol, expand),
-	})
+	}
+	inlineTrace(body, w, r)
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleGuidance(w http.ResponseWriter, r *http.Request) {

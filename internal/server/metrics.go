@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"qagview/internal/obs"
 )
 
 // latencySampleCap bounds the per-route latency reservoir: quantiles are
@@ -66,21 +68,32 @@ type RouteStats struct {
 }
 
 func (m *metrics) snapshot() (uptime time.Duration, routes map[string]RouteStats) {
+	// Copy counters and latency rings under the lock, sort outside it: the
+	// sort is O(n log n) over up to latencySampleCap samples per route, and
+	// holding mu through it would stall every in-flight request's observe.
+	type rawRoute struct {
+		rs      RouteStats
+		samples []float64
+	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	routes = make(map[string]RouteStats, len(m.routes))
+	raw := make(map[string]rawRoute, len(m.routes))
 	for name, rm := range m.routes {
 		rs := RouteStats{Count: rm.count, ByCode: make(map[string]int64, len(rm.byCode))}
 		for code, n := range rm.byCode {
 			rs.ByCode[strconv.Itoa(code)] = n
 		}
-		sorted := append([]float64(nil), rm.samples...)
-		sort.Float64s(sorted)
-		rs.P50Ms = quantile(sorted, 0.50)
-		rs.P99Ms = quantile(sorted, 0.99)
-		routes[name] = rs
+		raw[name] = rawRoute{rs: rs, samples: append([]float64(nil), rm.samples...)}
 	}
-	return time.Since(m.start), routes
+	uptime = time.Since(m.start)
+	m.mu.Unlock()
+	routes = make(map[string]RouteStats, len(raw))
+	for name, rr := range raw {
+		sort.Float64s(rr.samples)
+		rr.rs.P50Ms = quantile(rr.samples, 0.50)
+		rr.rs.P99Ms = quantile(rr.samples, 0.99)
+		routes[name] = rr.rs
+	}
+	return uptime, routes
 }
 
 func (m *metrics) countPanic() {
@@ -124,11 +137,33 @@ func quantile(sorted []float64, q float64) float64 {
 
 // statusWriter captures the response code for the metrics middleware, and
 // whether anything was written — the panic middleware only synthesizes a
-// 500 body when the handler had not started responding.
+// 500 body when the handler had not started responding. It also carries the
+// request id and the request's trace (when one is active) inward, so
+// writeErr can stamp error bodies and handlers can inline ?trace=1 trees
+// without re-deriving either.
 type statusWriter struct {
 	http.ResponseWriter
 	code  int
 	wrote bool
+	rid   string
+	trace *obs.Trace
+}
+
+// requestID extracts the request id stamped by the instrument middleware;
+// "" outside it (e.g. a handler under test without the middleware stack).
+func requestID(w http.ResponseWriter) string {
+	if sw, ok := w.(*statusWriter); ok {
+		return sw.rid
+	}
+	return ""
+}
+
+// requestTrace extracts the in-flight trace started by instrument, or nil.
+func requestTrace(w http.ResponseWriter) *obs.Trace {
+	if sw, ok := w.(*statusWriter); ok {
+		return sw.trace
+	}
+	return nil
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -142,13 +177,33 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
-// instrument wraps a handler with request counting and latency sampling
-// under the given route label.
+// instrument wraps a handler with request counting, latency sampling, a
+// response request id, and — when tracing is enabled, ?trace=1 is set, or a
+// slow-query threshold is armed — a request-scoped trace rooted at the route
+// label. The trace context flows through r.Context() into the engine,
+// precompute, delta, and WAL layers; Finish records it in the tracer's ring
+// (and the slow ring + log past the threshold).
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		rid := obs.NewRequestID()
+		w.Header().Set("X-Request-Id", rid)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK, rid: rid}
+		// ?trace=1 forces a trace for this request even with the global gate
+		// off; an armed slow-query threshold forces one too, since slowness
+		// is only known at Finish time.
+		force := r.URL.Query().Get("trace") == "1" || s.tracer.SlowThreshold() > 0
+		ctx, trace := s.tracer.StartTrace(r.Context(), route, force)
+		if trace != nil {
+			trace.Root.SetAttr("request_id", rid)
+			sw.trace = trace
+			r = r.WithContext(ctx)
+		}
 		t0 := time.Now()
 		h(sw, r)
+		if trace != nil {
+			trace.Root.SetInt("status", int64(sw.code))
+		}
+		s.tracer.Finish(trace)
 		s.metrics.observe(route, sw.code, time.Since(t0))
 	}
 }

@@ -3,7 +3,6 @@ package server
 import (
 	"context"
 	"errors"
-	"log"
 	"net/http"
 	"runtime/debug"
 )
@@ -23,7 +22,12 @@ func (s *Server) recoverPanics(h http.HandlerFunc) http.HandlerFunc {
 				panic(rec)
 			}
 			s.metrics.countPanic()
-			log.Printf("qagviewd: panic in %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			s.logger.Error("panic in handler",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"request_id", requestID(w),
+				"panic", rec,
+				"stack", string(debug.Stack()))
 			if sw, ok := w.(*statusWriter); !ok || !sw.wrote {
 				writeErr(w, http.StatusInternalServerError, "internal error: handler panicked")
 			}

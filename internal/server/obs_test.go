@@ -1,0 +1,253 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"qagview/internal/obs"
+)
+
+// findSpanJSON walks a decoded SpanSnapshot tree for a span name.
+func findSpanJSON(node map[string]any, name string) (map[string]any, bool) {
+	if node["name"] == name {
+		return node, true
+	}
+	kids, _ := node["children"].([]any)
+	for _, k := range kids {
+		if child, ok := k.(map[string]any); ok {
+			if got, ok := findSpanJSON(child, name); ok {
+				return got, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// TestRequestIDOnResponses pins the satellite: every response carries
+// X-Request-Id, and error bodies echo it as request_id.
+func TestRequestIDOnResponses(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	req, err := http.NewRequest("POST", ts.URL+"/v1/queries", strings.NewReader(`{"sql":""}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	rid := resp.Header.Get("X-Request-Id")
+	if rid == "" {
+		t.Fatal("no X-Request-Id on query response")
+	}
+	bad := post(t, ts, "/v1/queries", map[string]any{"sql": ""})
+	if bad.code != http.StatusBadRequest {
+		t.Fatalf("empty sql: %d %s", bad.code, bad.raw)
+	}
+	if got, _ := bad.body["request_id"].(string); got == "" {
+		t.Fatalf("error body carries no request_id: %s", bad.raw)
+	}
+	for _, path := range []string{"/healthz", "/metrics", "/debug/traces"} {
+		r := get(t, ts, path)
+		if r.code != http.StatusOK {
+			t.Fatalf("GET %s: %d %s", path, r.code, r.raw)
+		}
+	}
+}
+
+// TestTracedJoinQueryOverHTTP is the acceptance check: a ?trace=1 join query
+// returns an inline span tree covering server route → engine (per-operator
+// join and scan spans) → merge, even with the global tracing gate off.
+func TestTracedJoinQueryOverHTTP(t *testing.T) {
+	_, ts := joinTestServer(t)
+	resp := post(t, ts, "/v1/queries?trace=1", map[string]any{"sql": joinSQL})
+	if resp.code != http.StatusOK {
+		t.Fatalf("traced query: %d %s", resp.code, resp.raw)
+	}
+	tr, ok := resp.body["trace"].(map[string]any)
+	if !ok {
+		t.Fatalf("no inline trace in %s", resp.raw)
+	}
+	root, ok := tr["root"].(map[string]any)
+	if !ok {
+		t.Fatalf("trace has no root: %v", tr)
+	}
+	if root["name"] != "POST /v1/queries" {
+		t.Fatalf("root span is %v, want the route", root["name"])
+	}
+	for _, name := range []string{"engine.execute", "join", "join.build", "join.probe", "vexec", "scan", "merge", "finalize"} {
+		if _, ok := findSpanJSON(root, name); !ok {
+			t.Fatalf("span %q missing from inline trace: %s", name, resp.raw)
+		}
+	}
+}
+
+// TestQueryProfile pins the EXPLAIN ANALYZE surface over HTTP: "profile":
+// true returns per-operator rows/batches/wall-time plus a rendered table.
+func TestQueryProfile(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp := post(t, ts, "/v1/queries", map[string]any{"sql": testSQL, "profile": true})
+	if resp.code != http.StatusOK {
+		t.Fatalf("profiled query: %d %s", resp.code, resp.raw)
+	}
+	ops, ok := resp.body["profile"].([]any)
+	if !ok || len(ops) == 0 {
+		t.Fatalf("no profile in %s", resp.raw)
+	}
+	names := map[string]bool{}
+	for _, op := range ops {
+		names[op.(map[string]any)["op"].(string)] = true
+	}
+	for _, want := range []string{"plan", "scan", "merge", "finalize"} {
+		if !names[want] {
+			t.Fatalf("profile missing operator %q: %s", want, resp.raw)
+		}
+	}
+	text, _ := resp.body["profile_text"].(string)
+	if !strings.Contains(text, "operator") {
+		t.Fatalf("profile_text missing header: %q", text)
+	}
+	// Without the flag the response stays clean.
+	plain := post(t, ts, "/v1/queries", map[string]any{"sql": testSQL})
+	if _, leaked := plain.body["profile"]; leaked {
+		t.Fatal("profile leaked into an unprofiled response")
+	}
+}
+
+// TestDebugTraces exercises the ring endpoints: with tracing enabled every
+// request is retained, listable, and retrievable by id.
+func TestDebugTraces(t *testing.T) {
+	_, ts := testServer(t, Config{TraceEnabled: true, TraceRing: 16})
+	if r := post(t, ts, "/v1/queries", map[string]any{"sql": testSQL}); r.code != http.StatusOK {
+		t.Fatalf("query: %d %s", r.code, r.raw)
+	}
+	list := get(t, ts, "/debug/traces")
+	if list.code != http.StatusOK {
+		t.Fatalf("GET /debug/traces: %d %s", list.code, list.raw)
+	}
+	ring := list.body["ring"].(map[string]any)
+	if ring["enabled"] != true {
+		t.Fatalf("ring reports disabled: %s", list.raw)
+	}
+	traces := list.body["traces"].([]any)
+	if len(traces) == 0 {
+		t.Fatal("no traces retained")
+	}
+	var queryTrace map[string]any
+	for _, tr := range traces {
+		if m := tr.(map[string]any); m["name"] == "POST /v1/queries" {
+			queryTrace = m
+			break
+		}
+	}
+	if queryTrace == nil {
+		t.Fatalf("query trace not in ring: %s", list.raw)
+	}
+	one := get(t, ts, "/debug/traces/"+queryTrace["id"].(string))
+	if one.code != http.StatusOK {
+		t.Fatalf("GET trace by id: %d %s", one.code, one.raw)
+	}
+	root := one.body["root"].(map[string]any)
+	if _, ok := findSpanJSON(root, "engine.execute"); !ok {
+		t.Fatalf("retained trace has no engine span: %s", one.raw)
+	}
+	missing := get(t, ts, "/debug/traces/nope")
+	if missing.code != http.StatusNotFound {
+		t.Fatalf("unknown trace id: %d", missing.code)
+	}
+	if rid, _ := missing.body["request_id"].(string); rid == "" {
+		t.Fatalf("404 body carries no request_id: %s", missing.raw)
+	}
+}
+
+// TestSlowQueryCapture: with a zero-ish threshold armed, ordinary requests
+// land in the slow ring and are flagged in the index.
+func TestSlowQueryCapture(t *testing.T) {
+	srv, ts := testServer(t, Config{SlowQuery: time.Nanosecond})
+	if r := post(t, ts, "/v1/queries", map[string]any{"sql": testSQL}); r.code != http.StatusOK {
+		t.Fatalf("query: %d %s", r.code, r.raw)
+	}
+	st := srv.tracer.Stats()
+	if st.SlowTotal == 0 {
+		t.Fatalf("no slow traces captured: %+v", st)
+	}
+	list := get(t, ts, "/debug/traces")
+	if !strings.Contains(list.raw, `"slow": true`) && !strings.Contains(list.raw, `"slow":true`) {
+		t.Fatalf("no trace flagged slow: %s", list.raw)
+	}
+}
+
+// TestPromMetrics scrapes /metrics?format=prometheus and validates it with
+// the exposition parser — the same check the e2e smoke runs.
+func TestPromMetrics(t *testing.T) {
+	_, ts := testServer(t, Config{TraceEnabled: true})
+	if r := post(t, ts, "/v1/queries", map[string]any{"sql": testSQL}); r.code != http.StatusOK {
+		t.Fatalf("query: %d %s", r.code, r.raw)
+	}
+	scrape := get(t, ts, "/metrics?format=prometheus")
+	if scrape.code != http.StatusOK {
+		t.Fatalf("scrape: %d %s", scrape.code, scrape.raw)
+	}
+	fams, err := obs.ParseExposition(scrape.raw)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, scrape.raw)
+	}
+	have := map[string]bool{}
+	for _, f := range fams {
+		have[f.Name] = true
+	}
+	for _, want := range []string{
+		"qagviewd_uptime_seconds", "qagviewd_requests_total", "qagviewd_request_latency_ms",
+		"qagviewd_sessions_live", "qagviewd_goroutines", "qagviewd_heap_alloc_bytes",
+		"qagviewd_trace_ring_occupancy", "qagviewd_traces_total",
+	} {
+		if !have[want] {
+			t.Fatalf("missing family %q in scrape:\n%s", want, scrape.raw)
+		}
+	}
+	s, ok := obs.FindSample(fams, "qagviewd_requests_total", map[string]string{"route": "POST /v1/queries", "code": "200"})
+	if !ok || s.Value < 1 {
+		t.Fatalf("no request counter for the query route: %s", scrape.raw)
+	}
+	// JSON stays the default rendering.
+	asJSON := get(t, ts, "/metrics")
+	if asJSON.body == nil || asJSON.body["requests"] == nil {
+		t.Fatalf("default /metrics no longer JSON: %s", asJSON.raw)
+	}
+}
+
+// TestMetricsScrapeObserveRace pins the satellite fix: quantile sorting must
+// not mutate or hold the ring under concurrent observes. Run under -race.
+func TestMetricsScrapeObserveRace(t *testing.T) {
+	m := newMetrics()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.observe(fmt.Sprintf("route-%d", g%2), 200, time.Duration(i)*time.Microsecond)
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		_, routes := m.snapshot()
+		for _, rs := range routes {
+			if rs.P99Ms < rs.P50Ms {
+				t.Errorf("p99 %v < p50 %v", rs.P99Ms, rs.P50Ms)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

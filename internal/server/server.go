@@ -20,13 +20,16 @@ package server
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"qagview"
+	"qagview/internal/obs"
 )
 
 // Config sizes the server.
@@ -60,6 +63,19 @@ type Config struct {
 	// RequestTimeout bounds each request's handler; queries observe the
 	// deadline between morsels and the response is 503. 0 disables.
 	RequestTimeout time.Duration
+	// TraceEnabled turns on request tracing for every request. Off, traces
+	// still start for ?trace=1 requests and — when SlowQuery is set — to
+	// detect slow ones; everything else runs the nil-span zero-cost path.
+	TraceEnabled bool
+	// TraceRing caps the recent- and slow-trace rings at /debug/traces.
+	// 0 means obs.DefaultRingSize.
+	TraceRing int
+	// SlowQuery, when positive, retains traces of requests at or above this
+	// duration in the slow ring and logs them through the structured logger.
+	SlowQuery time.Duration
+	// Logger receives the server's structured logs (panics, checkpoint
+	// failures, slow traces). nil means slog.Default().
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -232,10 +248,15 @@ func (d *db) execOptions(ctx context.Context) []qagview.QueryOption {
 	return append(opts, qagview.ExecContext(ctx))
 }
 
-func (d *db) query(ctx context.Context, sql string) (*qagview.Result, error) {
+func (d *db) query(ctx context.Context, sql string, extra ...qagview.QueryOption) (*qagview.Result, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return d.db.Query(sql, d.execOptions(ctx)...)
+	opts := d.execOptions(ctx)
+	if len(extra) > 0 {
+		// Full-slice append: execOptions may return the shared base slice.
+		opts = append(opts[:len(opts):len(opts)], extra...)
+	}
+	return d.db.Query(sql, opts...)
 }
 
 // queryVersioned runs sql and reports the summed generation of every FROM
@@ -289,6 +310,8 @@ type Server struct {
 	db       *db
 	sessions *sessionManager
 	metrics  *metrics
+	tracer   *obs.Tracer
+	logger   *slog.Logger
 	mux      *http.ServeMux
 	dur      *durability // nil when Config.WALDir is empty
 	// buildSlots is the session-build admission semaphore (nil = unlimited).
@@ -304,12 +327,23 @@ func New(cfg Config) *Server {
 	if cfg.ExecParallelism > 0 {
 		execOpts = append(execOpts, qagview.ExecParallelism(cfg.ExecParallelism))
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
 	s := &Server{
 		cfg:      cfg,
 		db:       newServerDB(execOpts...),
 		sessions: newSessionManager(cfg.MaxSessions, cfg.MaxCacheBytes, cfg.SnapshotDir),
 		metrics:  newMetrics(),
+		tracer:   obs.NewTracer(cfg.TraceRing, logger),
+		logger:   logger,
 	}
+	s.tracer.SetEnabled(cfg.TraceEnabled)
+	s.tracer.SetSlowThreshold(cfg.SlowQuery)
+	// Background store builds start their own traces (no request to attach
+	// to); the manager needs the tracer for that.
+	s.sessions.tracer = s.tracer
 	if cfg.WALDir != "" {
 		s.dur = newDurability(cfg.WALDir, cfg.WALCheckpointBytes)
 	}
@@ -334,9 +368,23 @@ func New(cfg Config) *Server {
 	route("GET /v1/sessions/{id}/solution", "GET /v1/sessions/{id}/solution", s.handleSolution)
 	route("GET /v1/sessions/{id}/guidance", "GET /v1/sessions/{id}/guidance", s.handleGuidance)
 	route("GET /v1/sessions/{id}/diff", "GET /v1/sessions/{id}/diff", s.handleDiff)
-	s.mux.HandleFunc("GET /healthz", s.recoverPanics(s.handleHealthz))
-	s.mux.HandleFunc("GET /metrics", s.recoverPanics(s.handleMetrics))
+	// Ops endpoints skip the metrics middleware (scrapes should not dominate
+	// the request counters) but still get a request id on every response.
+	s.mux.HandleFunc("GET /healthz", s.stampRequestID(s.recoverPanics(s.handleHealthz)))
+	s.mux.HandleFunc("GET /metrics", s.stampRequestID(s.recoverPanics(s.handleMetrics)))
+	s.mux.HandleFunc("GET /debug/traces", s.stampRequestID(s.recoverPanics(s.handleTraces)))
+	s.mux.HandleFunc("GET /debug/traces/{id}", s.stampRequestID(s.recoverPanics(s.handleTrace)))
 	return s
+}
+
+// stampRequestID wraps ops endpoints outside the instrument middleware so
+// every response still carries X-Request-Id (and error bodies a request_id).
+func (s *Server) stampRequestID(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rid := obs.NewRequestID()
+		w.Header().Set("X-Request-Id", rid)
+		h(&statusWriter{ResponseWriter: w, code: http.StatusOK, rid: rid}, r)
+	}
 }
 
 // Handler returns the HTTP surface, ready to mount on an http.Server.
@@ -379,6 +427,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		s.promMetrics(w)
+		return
+	}
 	uptime, routes := s.metrics.snapshot()
 	entries, bytes, stats := s.sessions.occupancy()
 	robust := s.metrics.robustness()
@@ -402,6 +454,141 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		body["recovery"] = ds
 	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// promMetrics renders the /metrics counters in the Prometheus text
+// exposition format (version 0.0.4): the same numbers the JSON report
+// carries, plus runtime gauges. JSON stays the default; this is the
+// ?format=prometheus branch scrape configs point at.
+func (s *Server) promMetrics(w http.ResponseWriter) {
+	uptime, routes := s.metrics.snapshot()
+	entries, bytes, stats := s.sessions.occupancy()
+	robust := s.metrics.robustness()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	ring := s.tracer.Stats()
+
+	var pw obs.PromWriter
+	pw.Family("qagviewd_uptime_seconds", "gauge", "Seconds since the server started.")
+	pw.Sample("qagviewd_uptime_seconds", uptime.Seconds())
+	pw.Family("qagviewd_requests_total", "counter", "Requests served, by route and status code.")
+	pw.Family("qagviewd_request_latency_ms", "gauge", "Request latency quantiles over the recent-sample ring, by route.")
+	for route, rs := range routes {
+		for code, n := range rs.ByCode {
+			pw.Sample("qagviewd_requests_total", float64(n), "route", route, "code", code)
+		}
+		pw.Sample("qagviewd_request_latency_ms", rs.P50Ms, "route", route, "quantile", "0.5")
+		pw.Sample("qagviewd_request_latency_ms", rs.P99Ms, "route", route, "quantile", "0.99")
+	}
+	pw.Family("qagviewd_sessions_live", "gauge", "Live sessions in the LRU cache.")
+	pw.Sample("qagviewd_sessions_live", float64(entries))
+	pw.Family("qagviewd_sessions_bytes", "gauge", "Approximate bytes held by live sessions.")
+	pw.Sample("qagviewd_sessions_bytes", float64(bytes))
+	pw.Family("qagviewd_session_events_total", "counter", "Session-manager lifecycle events.")
+	for _, ev := range []struct {
+		name string
+		n    int64
+	}{
+		{"builds", stats.Builds}, {"build_errors", stats.BuildErrors},
+		{"deduped", stats.Deduped}, {"evictions", stats.Evictions},
+		{"deletes", stats.Deletes}, {"refreshes", stats.Refreshes},
+		{"refresh_noops", stats.RefreshNoops}, {"refresh_errors", stats.RefreshErrors},
+		{"snapshot_loads", stats.SnapshotLoads}, {"snapshot_saves", stats.SnapshotSaves},
+	} {
+		pw.Sample("qagviewd_session_events_total", float64(ev.n), "event", ev.name)
+	}
+	pw.Family("qagviewd_panics_recovered_total", "counter", "Handler panics converted to 500s.")
+	pw.Sample("qagviewd_panics_recovered_total", float64(robust.PanicsRecovered))
+	pw.Family("qagviewd_admission_rejects_total", "counter", "Session builds refused with 429.")
+	pw.Sample("qagviewd_admission_rejects_total", float64(robust.AdmissionRejects))
+	pw.Family("qagviewd_inflight_builds", "gauge", "Session builds currently admitted.")
+	pw.Sample("qagviewd_inflight_builds", float64(len(s.buildSlots)))
+	pw.Family("qagviewd_draining", "gauge", "1 while the server refuses writes for drain.")
+	pw.Sample("qagviewd_draining", boolGauge(s.draining.Load()))
+
+	pw.Family("qagviewd_goroutines", "gauge", "Goroutines in the process.")
+	pw.Sample("qagviewd_goroutines", float64(runtime.NumGoroutine()))
+	pw.Family("qagviewd_heap_alloc_bytes", "gauge", "Bytes of allocated heap objects.")
+	pw.Sample("qagviewd_heap_alloc_bytes", float64(ms.HeapAlloc))
+
+	pw.Family("qagviewd_tracing_enabled", "gauge", "1 when the global tracing gate is on.")
+	pw.Sample("qagviewd_tracing_enabled", boolGauge(ring.Enabled))
+	pw.Family("qagviewd_trace_ring_occupancy", "gauge", "Retained traces, by ring.")
+	pw.Sample("qagviewd_trace_ring_occupancy", float64(ring.Recent), "ring", "recent")
+	pw.Sample("qagviewd_trace_ring_occupancy", float64(ring.Slow), "ring", "slow")
+	pw.Family("qagviewd_traces_total", "counter", "Traces finished, by kind.")
+	pw.Sample("qagviewd_traces_total", float64(ring.Total), "kind", "all")
+	pw.Sample("qagviewd_traces_total", float64(ring.SlowTotal), "kind", "slow")
+
+	if ws, ds, durable := s.walStats(); durable {
+		pw.Family("qagviewd_wal_appends_total", "counter", "Acknowledged WAL appends.")
+		pw.Sample("qagviewd_wal_appends_total", float64(ws.Appends))
+		pw.Family("qagviewd_wal_fsyncs_total", "counter", "WAL fsync batches (group commit).")
+		pw.Sample("qagviewd_wal_fsyncs_total", float64(ws.Fsyncs))
+		pw.Family("qagviewd_wal_bytes_total", "counter", "Bytes appended to the WAL this process.")
+		pw.Sample("qagviewd_wal_bytes_total", float64(ws.Bytes))
+		pw.Family("qagviewd_wal_size_bytes", "gauge", "On-disk bytes across live WAL segments.")
+		pw.Sample("qagviewd_wal_size_bytes", float64(ws.SizeBytes))
+		pw.Family("qagviewd_wal_fsync_ms", "gauge", "WAL fsync latency quantiles over the recent-sample ring.")
+		pw.Sample("qagviewd_wal_fsync_ms", ws.FsyncP50Ms, "quantile", "0.5")
+		pw.Sample("qagviewd_wal_fsync_ms", ws.FsyncP99Ms, "quantile", "0.99")
+		pw.Family("qagviewd_wal_broken", "gauge", "1 after the WAL went fail-stop.")
+		pw.Sample("qagviewd_wal_broken", boolGauge(ws.Broken))
+		pw.Family("qagviewd_recovery_records_replayed_total", "counter", "WAL records replayed by Recover.")
+		pw.Sample("qagviewd_recovery_records_replayed_total", float64(ds.RecordsReplayed))
+		pw.Family("qagviewd_checkpoints_total", "counter", "Completed WAL checkpoints.")
+		pw.Sample("qagviewd_checkpoints_total", float64(ds.Checkpoints))
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(pw.String()))
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// handleTraces serves the retained-trace index: ring stats plus summaries,
+// newest first (slow traces that outlived the recent ring included).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	traces := s.tracer.Recent()
+	if traces == nil {
+		traces = []obs.TraceSummary{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ring":   s.tracer.Stats(),
+		"traces": traces,
+	})
+}
+
+// handleTrace serves one retained trace's full span tree by id.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, ok := s.tracer.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "trace %q not retained (expired from the ring, or never existed)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// DebugHandler returns the debug surface — pprof plus the trace ring — for
+// a separate listener (qagviewd -debug-addr), so profiling endpoints are
+// never exposed on the service port.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/traces", s.stampRequestID(s.recoverPanics(s.handleTraces)))
+	mux.HandleFunc("GET /debug/traces/{id}", s.stampRequestID(s.recoverPanics(s.handleTrace)))
+	return mux
 }
 
 // String renders the bind hint for logs.

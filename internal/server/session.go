@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"qagview"
+	"qagview/internal/obs"
 )
 
 // session is one live exploration context: a (query, L, grid) spine plus a
@@ -160,6 +161,11 @@ type sessionManager struct {
 
 	flight      flightGroup
 	snapshotDir string
+
+	// tracer roots background-build traces (builds have no request trace to
+	// attach to). Set by Server.New; nil in bare-manager tests, where every
+	// obs call is a nil-safe no-op.
+	tracer *obs.Tracer
 
 	// wg tracks background store-build goroutines so close can wait for
 	// them after cancelling: graceful shutdown must not exit while a sweep
@@ -310,7 +316,7 @@ func (m *sessionManager) build(ctx context.Context, db *db, id, sql string, l, k
 // subsystem, supersedes any in-flight sweep (cancel + wait), and kicks off
 // the successor store build. Concurrent stale reads share one refresh
 // through the singleflight group.
-func (m *sessionManager) freshen(db *db, s *session) (*sessionView, error) {
+func (m *sessionManager) freshen(ctx context.Context, db *db, s *session) (*sessionView, error) {
 	cur := s.currentView()
 	if s.dead.Load() || cur.dataVersion >= db.generationSum(s.Tables) {
 		return cur, nil
@@ -325,8 +331,13 @@ func (m *sessionManager) freshen(db *db, s *session) (*sessionView, error) {
 		}
 		// Refreshes run uncancelled: the result is shared by every concurrent
 		// stale reader through the singleflight group, so one caller's
-		// deadline must not fail the others' reads.
-		res, err := db.query(context.Background(), s.SQL)
+		// deadline must not fail the others' reads. WithoutCancel keeps the
+		// flight owner's trace span (a context value) while dropping its
+		// deadline — losers' reads were never traced into this refresh.
+		rctx, rsp := obs.StartSpan(context.WithoutCancel(ctx), "session.refresh")
+		defer rsp.End()
+		rsp.SetAttr("session", s.ID)
+		res, err := db.query(rctx, s.SQL)
 		if err != nil {
 			m.countRefresh(&m.stats.RefreshErrors)
 			return nil, fmt.Errorf("refresh query: %w", err)
@@ -352,7 +363,7 @@ func (m *sessionManager) freshen(db *db, s *session) (*sessionView, error) {
 		cur.build.cancel()
 		//qag:allow lockscope deliberate: refreshMu serializes refreshes per session, and the superseded build was just cancelled, so ready closes promptly; waiting here is what guarantees Live's single-writer contract
 		<-cur.build.ready
-		if _, _, err := s.live.Refresh(res); err != nil {
+		if _, _, err := s.live.RefreshCtx(rctx, res); err != nil {
 			m.countRefresh(&m.stats.RefreshErrors)
 			return nil, fmt.Errorf("refresh: %w", err)
 		}
@@ -396,6 +407,15 @@ func (m *sessionManager) countRefresh(counter *int64) {
 func (m *sessionManager) buildStore(ctx context.Context, s *session, v *sessionView) {
 	defer m.wg.Done()
 	defer close(v.build.ready)
+	// Background builds run on a cancel-on-eviction context with no request
+	// attached, so they root their own trace (recorded only while the global
+	// gate is on; nil otherwise).
+	ctx, btr := m.tracer.StartTrace(ctx, "session.build_store", false)
+	if btr != nil {
+		btr.Root.SetAttr("session", s.ID)
+		btr.Root.SetInt("data_version", int64(v.dataVersion))
+		defer m.tracer.Finish(btr)
+	}
 	// A panic here would kill the whole process (background goroutine), so
 	// degrade to a build error: the session keeps serving via the live path.
 	defer func() {

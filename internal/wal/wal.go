@@ -352,22 +352,25 @@ func (l *Log) SizeBytes() int64 {
 	return l.size
 }
 
-// Stats snapshots the log's counters.
+// Stats snapshots the log's counters. The fsync samples are copied under
+// the lock and sorted outside it, so a slow scrape never stalls appenders
+// waiting on mu in the fsync hot path.
 func (l *Log) Stats() Stats {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	sorted := append([]float64(nil), l.fsyncMs...)
-	sort.Float64s(sorted)
-	return Stats{
-		Appends:    l.appends,
-		Batches:    l.batches,
-		Fsyncs:     l.fsyncs,
-		Bytes:      l.bytes,
-		SizeBytes:  l.size,
-		FsyncP50Ms: quantile(sorted, 0.50),
-		FsyncP99Ms: quantile(sorted, 0.99),
-		Broken:     l.broken != nil,
+	st := Stats{
+		Appends:   l.appends,
+		Batches:   l.batches,
+		Fsyncs:    l.fsyncs,
+		Bytes:     l.bytes,
+		SizeBytes: l.size,
+		Broken:    l.broken != nil,
 	}
+	l.mu.Unlock()
+	sort.Float64s(sorted)
+	st.FsyncP50Ms = quantile(sorted, 0.50)
+	st.FsyncP99Ms = quantile(sorted, 0.99)
+	return st
 }
 
 // quantile reads q from an ascending sample list (nearest-rank).

@@ -15,8 +15,12 @@ cd "$(dirname "$0")/.."
 echo "== building qagviewd"
 go build -o /tmp/qagviewd ./cmd/qagviewd
 
-echo "== starting qagviewd on :${PORT} (MovieLens sample, 20k ratings)"
-/tmp/qagviewd -addr "127.0.0.1:${PORT}" -sample movielens -sample-ratings 20000 &
+DEBUG_PORT=$((PORT + 1))
+DEBUG_BASE="http://127.0.0.1:${DEBUG_PORT}"
+
+echo "== starting qagviewd on :${PORT} (MovieLens sample, 20k ratings, tracing on, debug on :${DEBUG_PORT})"
+/tmp/qagviewd -addr "127.0.0.1:${PORT}" -sample movielens -sample-ratings 20000 \
+  -trace -trace-ring 64 -debug-addr "127.0.0.1:${DEBUG_PORT}" &
 SERVER_PID=$!
 trap 'kill "${SERVER_PID}" 2>/dev/null || true' EXIT
 
@@ -134,6 +138,45 @@ ck 400 "$OUT/err400.json" "${BASE}/v1/sessions/${SESSION}/solution?k=abc&d=1"
 echo "== GET /metrics"
 ck 200 "$OUT/metrics.json" "${BASE}/metrics"
 grep -q '"live": 1' "$OUT/metrics.json" || { cat "$OUT/metrics.json" >&2; fail "metrics do not report the live session"; }
+
+echo "== every response carries X-Request-Id"
+HDRS=$(curl -sS -D - -o /dev/null "${BASE}/healthz")
+echo "$HDRS" | grep -qi '^x-request-id:' || { echo "$HDRS" >&2; fail "no X-Request-Id header on /healthz"; }
+ck 400 "$OUT/rid_err.json" -X POST "${BASE}/v1/queries" \
+  -H 'Content-Type: application/json' -d '{"sql": ""}'
+grep -q '"request_id"' "$OUT/rid_err.json" || { cat "$OUT/rid_err.json" >&2; fail "error body carries no request_id"; }
+
+echo "== traced join query returns an inline span tree (server -> engine -> merge)"
+ck 200 "$OUT/traced.json" -X POST "${BASE}/v1/queries?trace=1" \
+  -H 'Content-Type: application/json' -d "{\"sql\": \"${JSQL}\", \"limit\": 3}"
+for span in engine.execute join.build join.probe merge; do
+  grep -q "\"${span}\"" "$OUT/traced.json" || { cat "$OUT/traced.json" >&2; fail "inline trace missing span ${span}"; }
+done
+
+echo "== profiled query returns per-operator rows and wall time"
+ck 200 "$OUT/profiled.json" -X POST "${BASE}/v1/queries" \
+  -H 'Content-Type: application/json' -d "{\"sql\": \"${SQL}\", \"profile\": true, \"limit\": 3}"
+grep -q '"profile"' "$OUT/profiled.json" || { cat "$OUT/profiled.json" >&2; fail "no profile in profiled query"; }
+grep -q 'operator' "$OUT/profiled.json" || { cat "$OUT/profiled.json" >&2; fail "no rendered profile_text table"; }
+
+echo "== GET /debug/traces lists the ring; one trace is retrievable by id"
+ck 200 "$OUT/traces.json" "${BASE}/debug/traces"
+grep -q '"enabled": true' "$OUT/traces.json" || { cat "$OUT/traces.json" >&2; fail "trace ring reports disabled"; }
+TRACE_ID=$(sed -n 's/.*"id": "\([^"]*\)".*/\1/p' "$OUT/traces.json" | head -1)
+[ -n "$TRACE_ID" ] || { cat "$OUT/traces.json" >&2; fail "no trace ids in ring"; }
+ck 200 "$OUT/trace_one.json" "${BASE}/debug/traces/${TRACE_ID}"
+grep -q '"root"' "$OUT/trace_one.json" || { cat "$OUT/trace_one.json" >&2; fail "trace by id has no span tree"; }
+ck 404 "$OUT/trace_404.json" "${BASE}/debug/traces/nope"
+
+echo "== debug listener serves pprof and the trace ring on its own port"
+ck 200 "$OUT/debug_traces.json" "${DEBUG_BASE}/debug/traces"
+ck 200 "$OUT/debug_pprof.txt" "${DEBUG_BASE}/debug/pprof/cmdline"
+
+echo "== GET /metrics?format=prometheus parses and carries the core families"
+ck 200 "$OUT/metrics.prom" "${BASE}/metrics?format=prometheus"
+go run ./cmd/promlint \
+  -require qagviewd_requests_total,qagviewd_request_latency_ms,qagviewd_uptime_seconds,qagviewd_goroutines,qagviewd_heap_alloc_bytes,qagviewd_trace_ring_occupancy,qagviewd_traces_total \
+  < "$OUT/metrics.prom" || fail "prometheus exposition failed promlint"
 
 echo "== durability: acked writes survive kill -9"
 kill "${SERVER_PID}" 2>/dev/null || true
